@@ -1,0 +1,49 @@
+//! Criterion bench for **Fig. 3** — round-trip latency distributions.
+//!
+//! Each benchmark runs a fixed-size batch of simulated round trips for
+//! one `(driver, payload)` cell and, at the end, prints the same summary
+//! row the paper's figure reports (mean/σ plus the quartiles of the
+//! distribution). Criterion's measurement is the simulation throughput;
+//! the scientific output is the printed row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use virtio_fpga::{DriverKind, Testbed, TestbedConfig, PAPER_PAYLOADS};
+
+const PACKETS_PER_ITER: usize = 200;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_roundtrip");
+    for driver in [DriverKind::Virtio, DriverKind::Xdma] {
+        for &payload in &PAPER_PAYLOADS {
+            group.throughput(Throughput::Elements(PACKETS_PER_ITER as u64));
+            group.bench_with_input(
+                BenchmarkId::new(driver.name(), payload),
+                &payload,
+                |b, &payload| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let cfg = TestbedConfig::paper(driver, payload, PACKETS_PER_ITER, seed);
+                        let r = Testbed::new(cfg).run();
+                        assert_eq!(r.verify_failures, 0);
+                        r
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Print the figure's rows once, at paper-like scale.
+    println!("\nFig. 3 rows (10 000 packets per cell):");
+    for &payload in &PAPER_PAYLOADS {
+        for driver in [DriverKind::Virtio, DriverKind::Xdma] {
+            let cfg = TestbedConfig::paper(driver, payload, 10_000, 42);
+            let mut r = Testbed::new(cfg).run();
+            println!("  {}", r.fig3_line());
+        }
+    }
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

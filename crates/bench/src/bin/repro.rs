@@ -1,0 +1,246 @@
+//! `repro` — regenerate every figure and table of the paper.
+//!
+//! ```sh
+//! repro [--packets N] [--seed S] [--quick] <artifact>...
+//!
+//! artifacts:
+//!   fig3 fig4 fig5 table1          the paper's evaluation (§V)
+//!   portability                    E5  link sweep (§VI future work)
+//!   xdma-irq-ablation              E6  §IV-C setup concession
+//!   virtio-features                E7  EVENT_IDX / queue-size ablation
+//!   bypass                         E8  §III-A bypass interface
+//!   devtypes                       E9  console [14] vs net device
+//!   csum-offload                   E10 checksum offload
+//!   noise-sweep                    E11 host-noise sensitivity
+//!   pipeline                       E12 pipelined throughput
+//!   deployment                     E13 Fig. 1 deployment models
+//!   card-memory                    E14 BRAM vs external DDR
+//!   all                            everything above
+//! ```
+//!
+//! With `--quick`, runs use 2 000 packets instead of the paper's 50 000.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use vf_bench::*;
+use virtio_fpga::experiments::{self, ExperimentParams};
+use virtio_fpga::{DriverKind, PAPER_PAYLOADS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut packets = virtio_fpga::PAPER_PACKETS;
+    let mut seed = 42u64;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--packets" => {
+                i += 1;
+                packets = args[i].parse().expect("--packets N");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed S");
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(PathBuf::from(&args[i]));
+            }
+            "--quick" => packets = 2_000,
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            a => artifacts.push(a.to_string()),
+        }
+        i += 1;
+    }
+    if artifacts.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    if artifacts.iter().any(|a| a == "all") {
+        artifacts = [
+            "fig3",
+            "fig4",
+            "fig5",
+            "table1",
+            "portability",
+            "xdma-irq-ablation",
+            "virtio-features",
+            "bypass",
+            "devtypes",
+            "csum-offload",
+            "noise-sweep",
+            "pipeline",
+            "deployment",
+            "card-memory",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let params = ExperimentParams {
+        packets,
+        seed,
+        threads: vf_sim::default_threads(),
+    };
+    eprintln!(
+        "# testbed: Alinx AX7A200 model, PCIe Gen2 x2, Fedora 37 host model; {packets} packets/config, seed {seed}"
+    );
+
+    // The paper matrix is shared by fig3/fig4/fig5/table1 — run it once.
+    let needs_matrix = artifacts
+        .iter()
+        .any(|a| matches!(a.as_str(), "fig3" | "fig4" | "fig5" | "table1"));
+    let mut matrix = needs_matrix.then(|| experiments::run_matrix(params));
+
+    if let (Some(dir), Some(m)) = (&csv_dir, matrix.as_mut()) {
+        write_matrix_csv(dir, m).expect("writing CSV");
+        eprintln!("# raw samples + summaries written to {}", dir.display());
+    }
+
+    for artifact in &artifacts {
+        match artifact.as_str() {
+            "fig3" => {
+                let rows = experiments::fig3(matrix.as_mut().unwrap());
+                println!("{}", render_fig3(&rows));
+            }
+            "fig4" => {
+                let rows = experiments::fig4(matrix.as_mut().unwrap());
+                print!("Fig. 4 — ");
+                println!("{}", render_fig45(DriverKind::Virtio, &rows));
+            }
+            "fig5" => {
+                let rows = experiments::fig5(matrix.as_mut().unwrap());
+                print!("Fig. 5 — ");
+                println!("{}", render_fig45(DriverKind::Xdma, &rows));
+            }
+            "table1" => {
+                let rows = experiments::table1(matrix.as_mut().unwrap());
+                println!(
+                    "Table I — Tail latencies for data movement\n{}",
+                    render_tails(&rows)
+                );
+            }
+            "portability" => {
+                println!("{}", render_portability(&experiments::portability(params)));
+            }
+            "xdma-irq-ablation" => {
+                println!(
+                    "{}",
+                    render_xdma_irq(&experiments::xdma_irq_ablation(params))
+                );
+            }
+            "virtio-features" => {
+                println!(
+                    "{}",
+                    render_virtio_features(&experiments::virtio_features(params))
+                );
+            }
+            "bypass" => {
+                println!("{}", render_bypass(&experiments::bypass(params)));
+            }
+            "devtypes" => {
+                println!(
+                    "{}",
+                    render_device_types(&experiments::device_types(params))
+                );
+            }
+            "csum-offload" => {
+                println!("{}", render_csum(&experiments::csum_offload(params)));
+            }
+            "noise-sweep" => {
+                println!("{}", render_noise(&experiments::noise_sweep(params)));
+            }
+            "pipeline" => {
+                println!(
+                    "{}",
+                    render_pipeline(&experiments::pipelined_throughput(params))
+                );
+            }
+            "deployment" => {
+                println!(
+                    "{}",
+                    render_deployment(&experiments::deployment_models(params))
+                );
+            }
+            "card-memory" => {
+                println!("{}", render_card_memory(&experiments::card_memory(params)));
+            }
+            other => {
+                eprintln!("unknown artifact: {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Dump the measurement matrix as CSV: one summaries file plus one raw
+/// per-packet samples file per (driver, payload) cell — gnuplot/pandas
+/// ready.
+fn write_matrix_csv(dir: &PathBuf, m: &mut experiments::Matrix) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut summary = std::fs::File::create(dir.join("summary.csv"))?;
+    writeln!(
+        summary,
+        "driver,payload,n,mean_us,std_us,min_us,p25_us,median_us,p75_us,p95_us,p99_us,p999_us,max_us,hw_mean_us,sw_mean_us"
+    )?;
+    for driver in [DriverKind::Virtio, DriverKind::Xdma] {
+        for &payload in &PAPER_PAYLOADS {
+            let cell = m.cell(driver, payload);
+            let s = cell.total_summary();
+            let hw = cell.hw_summary();
+            let sw = cell.sw_summary();
+            writeln!(
+                summary,
+                "{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+                cell.driver.name(),
+                payload,
+                s.n,
+                s.mean_us,
+                s.std_us,
+                s.min_us,
+                s.p25_us,
+                s.median_us,
+                s.p75_us,
+                s.p95_us,
+                s.p99_us,
+                s.p999_us,
+                s.max_us,
+                hw.mean_us,
+                sw.mean_us
+            )?;
+            let name = format!(
+                "samples_{}_{}B.csv",
+                cell.driver.name().to_lowercase(),
+                payload
+            );
+            let mut f = std::fs::File::create(dir.join(name))?;
+            writeln!(f, "total_us,hw_us,sw_us")?;
+            for ((t, h), w) in cell
+                .total
+                .raw()
+                .iter()
+                .zip(cell.hw.raw())
+                .zip(cell.sw.raw())
+            {
+                writeln!(f, "{t:.3},{h:.3},{w:.3}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: repro [--packets N] [--seed S] [--quick] [--csv DIR] <artifact>...\n\
+         artifacts: fig3 fig4 fig5 table1 portability xdma-irq-ablation\n\
+         \u{20}          virtio-features bypass devtypes csum-offload noise-sweep\n\
+         \u{20}          pipeline deployment card-memory all"
+    );
+}

@@ -1,0 +1,264 @@
+//! # vf-bench — benchmark harness
+//!
+//! Rendering helpers shared by the `repro` binary (which regenerates
+//! every figure and table of the paper) and the Criterion benches.
+
+#![warn(missing_docs)]
+
+use virtio_fpga::experiments::{
+    BreakdownRow, BypassRow, CsumRow, DeviceTypeRow, Fig3Row, NoiseRow, PortabilityRow, Table1Row,
+    VirtioFeatureRow, XdmaIrqRow,
+};
+use virtio_fpga::{render_breakdown, render_table1, DriverKind};
+
+/// Render the Fig. 3 distribution comparison as text (per-payload
+/// summaries plus ASCII distribution sparklines).
+pub fn render_fig3(rows: &[Fig3Row]) -> String {
+    let mut out = String::from(
+        "Fig. 3 — Round-trip latency distribution (us)\npayload  driver   mean    sd    min    p25    med    p75    p95    max   distribution 0-120us\n",
+    );
+    for r in rows {
+        for (name, s, h) in [
+            ("VirtIO", &r.virtio, &r.virtio_hist),
+            ("XDMA", &r.xdma, &r.xdma_hist),
+        ] {
+            out.push_str(&format!(
+                "{:>6}B  {:<7}{:>6.1}{:>6.1}{:>7.1}{:>7.1}{:>7.1}{:>7.1}{:>7.1}{:>7.1}   |{}|\n",
+                r.payload,
+                name,
+                s.mean_us,
+                s.std_us,
+                s.min_us,
+                s.p25_us,
+                s.median_us,
+                s.p75_us,
+                s.p95_us,
+                s.max_us,
+                h.sparkline()
+            ));
+        }
+    }
+    out
+}
+
+/// Render a Fig. 4 or Fig. 5 breakdown.
+pub fn render_fig45(driver: DriverKind, rows: &[BreakdownRow]) -> String {
+    let pairs: Vec<(usize, vf_sim::Summary, vf_sim::Summary)> =
+        rows.iter().map(|r| (r.payload, r.sw, r.hw)).collect();
+    render_breakdown(driver, &pairs)
+}
+
+/// Render Table I.
+pub fn render_tails(rows: &[Table1Row]) -> String {
+    let pairs: Vec<(usize, vf_sim::Summary, vf_sim::Summary)> =
+        rows.iter().map(|r| (r.payload, r.virtio, r.xdma)).collect();
+    render_table1(&pairs)
+}
+
+/// Render the E5 portability sweep.
+pub fn render_portability(rows: &[PortabilityRow]) -> String {
+    let mut out = String::from(
+        "E5 — Portability sweep (1 KiB payload, mean / p95 us)\nlink        | VirtIO mean  p95 | XDMA mean   p95\n------------+------------------+----------------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:?} x{:<3}   | {:>8.1} {:>6.1} | {:>8.1} {:>6.1}\n",
+            r.gen, r.lanes, r.virtio.mean_us, r.virtio.p95_us, r.xdma.mean_us, r.xdma.p95_us
+        ));
+    }
+    out
+}
+
+/// Render the E6 XDMA interrupt ablation.
+pub fn render_xdma_irq(rows: &[XdmaIrqRow]) -> String {
+    let mut out = String::from(
+        "E6 — XDMA with the real data-ready interrupt (mean us)\npayload | back-to-back (paper setup) | with device IRQ | penalty\n--------+----------------------------+-----------------+--------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6}B | {:>26.1} | {:>15.1} | {:>+6.1}\n",
+            r.payload,
+            r.back_to_back.mean_us,
+            r.with_irq.mean_us,
+            r.with_irq.mean_us - r.back_to_back.mean_us
+        ));
+    }
+    out
+}
+
+/// Render the E7 VirtIO feature ablation.
+pub fn render_virtio_features(rows: &[VirtioFeatureRow]) -> String {
+    let mut out = String::from(
+        "E7 — VirtIO transport ablation (256 B payload)\nevent_idx queue | mean(us)  p95(us) | doorbells   irqs\n----------------+-------------------+-----------------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>9} {:>5} | {:>8.1} {:>8.1} | {:>9} {:>6}\n",
+            r.event_idx, r.queue_size, r.total.mean_us, r.total.p95_us, r.notifications, r.irqs
+        ));
+    }
+    out
+}
+
+/// Render the E8 bypass-interface measurement.
+pub fn render_bypass(rows: &[BypassRow]) -> String {
+    let mut out = String::from(
+        "E8 — Driver-bypass DMA interface (us)\nsize   | dev read | dev write | round trip | full driver path (1 KiB)\n-------+----------+-----------+------------+-------------------------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>5}B | {:>8.2} | {:>9.2} | {:>10.2} | {:>8.1}\n",
+            r.size, r.read_us, r.write_us, r.round_trip_us, r.driver_path_us
+        ));
+    }
+    out
+}
+
+/// Render the E9 device-type comparison.
+pub fn render_device_types(rows: &[DeviceTypeRow]) -> String {
+    let mut out = String::from(
+        "E9 — Device types (VirtIO framework, mean / p95 us)\ndevice          payload |  mean   p95\n------------------------+-------------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<15} {:>6}B | {:>5.1} {:>5.1}\n",
+            r.device_type.name(),
+            r.payload,
+            r.total.mean_us,
+            r.total.p95_us
+        ));
+    }
+    out
+}
+
+/// Render the E10 checksum-offload ablation.
+pub fn render_csum(rows: &[CsumRow]) -> String {
+    let mut out = String::from(
+        "E10 — Checksum offload (mean us)\npayload | total sw-csum | total offload | sw-component sw-csum → offload\n--------+---------------+---------------+-------------------------------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6}B | {:>13.1} | {:>13.1} | {:>13.2} → {:.2}\n",
+            r.payload,
+            r.sw_csum.mean_us,
+            r.offload.mean_us,
+            r.sw_component_sw_csum,
+            r.sw_component_offload
+        ));
+    }
+    out
+}
+
+/// Render the E11 noise sweep.
+pub fn render_noise(rows: &[NoiseRow]) -> String {
+    let mut out = String::from(
+        "E11 — Host-noise sensitivity (256 B payload, us)\nscale | VirtIO mean   sd   p95  p99.9 | XDMA mean   sd   p95  p99.9\n------+-------------------------------+----------------------------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>5.1} | {:>8.1} {:>5.1} {:>5.1} {:>6.1} | {:>7.1} {:>5.1} {:>5.1} {:>6.1}\n",
+            r.scale,
+            r.virtio.mean_us,
+            r.virtio.std_us,
+            r.virtio.p95_us,
+            r.virtio.p999_us,
+            r.xdma.mean_us,
+            r.xdma.std_us,
+            r.xdma.p95_us,
+            r.xdma.p999_us
+        ));
+    }
+    out
+}
+
+/// Render the E12 pipelined-throughput comparison.
+pub fn render_pipeline(rows: &[virtio_fpga::experiments::PipelineRow]) -> String {
+    let mut out = String::from(
+        "E12 — Pipelined throughput (256 B payload)\ndepth | VirtIO pps | latency(us) | doorbells/pkt | irqs/pkt | XDMA serial pps\n------+------------+-------------+---------------+----------+----------------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>5} | {:>10.0} | {:>11.1} | {:>13.3} | {:>8.3} | {:>14.0}\n",
+            r.depth,
+            r.virtio_pps,
+            r.virtio_latency_us,
+            r.doorbells_per_packet,
+            r.irqs_per_packet,
+            r.xdma_serial_pps
+        ));
+    }
+    out
+}
+
+/// Render the E13 deployment-model comparison.
+pub fn render_deployment(rows: &[virtio_fpga::experiments::DeploymentRow]) -> String {
+    let mut out = String::from(
+        "E13 — Deployment models (mean / p95 us), quantifying the paper's Fig. 1\npayload | direct VirtIO-FPGA | raw XDMA        | paravirt (backend+legacy)\n--------+--------------------+-----------------+--------------------------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6}B | {:>8.1} / {:>6.1} | {:>6.1} / {:>6.1} | {:>10.1} / {:>6.1}\n",
+            r.payload,
+            r.direct_virtio.mean_us,
+            r.direct_virtio.p95_us,
+            r.raw_xdma.mean_us,
+            r.raw_xdma.p95_us,
+            r.paravirt.mean_us,
+            r.paravirt.p95_us
+        ));
+    }
+    out
+}
+
+/// Render the E14 card-memory ablation.
+pub fn render_card_memory(rows: &[virtio_fpga::experiments::CardMemRow]) -> String {
+    let mut out = String::from(
+        "E14 — Card memory: BRAM vs external DDR (mean us)\npayload | VirtIO bram  ddr | XDMA bram   ddr\n--------+------------------+-----------------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6}B | {:>9.1} {:>5.1} | {:>8.1} {:>5.1}\n",
+            r.payload,
+            r.virtio_bram.mean_us,
+            r.virtio_ddr.mean_us,
+            r.xdma_bram.mean_us,
+            r.xdma_ddr.mean_us
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virtio_fpga::experiments::{self, ExperimentParams};
+
+    #[test]
+    fn renderers_produce_full_tables() {
+        let params = ExperimentParams {
+            packets: 150,
+            seed: 19,
+            threads: 8,
+        };
+        let mut m = experiments::run_matrix(params);
+        let f3 = render_fig3(&experiments::fig3(&mut m));
+        assert_eq!(f3.lines().count(), 12); // header + 10 rows + title
+        assert!(f3.contains("VirtIO") && f3.contains("XDMA"));
+        let f4 = render_fig45(DriverKind::Virtio, &experiments::fig4(&mut m));
+        assert!(f4.contains("VirtIO driver"));
+        let t1 = render_tails(&experiments::table1(&mut m));
+        assert!(t1.contains("99.9%"));
+        assert_eq!(t1.lines().count(), 8);
+    }
+
+    #[test]
+    fn bypass_render() {
+        let rows = experiments::bypass(ExperimentParams {
+            packets: 150,
+            seed: 1,
+            threads: 2,
+        });
+        let s = render_bypass(&rows);
+        assert!(s.contains("4096B"));
+    }
+}

@@ -1,0 +1,133 @@
+//! The calibration profile: every timing constant of the testbed, in one
+//! place, with its justification.
+//!
+//! The reproduction cannot match the paper's absolute microseconds — the
+//! authors ran on a physical Artix-7 board in a particular desktop — but
+//! each constant below is pinned to either (a) the paper's own numbers,
+//! (b) the board/IP datasheets, or (c) widely reproduced Linux
+//! micro-measurements. EXPERIMENTS.md records how the resulting shapes
+//! compare with the paper's Figures 3–5 and Table I.
+//!
+//! | Constant group | Anchor |
+//! |---|---|
+//! | Link Gen2 x2, MPS 128 B | AX7A200 board spec + consumer chipset defaults |
+//! | RC read latency ≈ 1.05 µs, credit pacing | Table I payload slope: ~21 µs added round-trip per KiB ⇒ ~90 MB/s effective short-transfer DMA |
+//! | 8 ns hardware quantum | §III-B3: 125 MHz designs |
+//! | Syscall/IRQ/wakeup costs | public syscall/irq micro-benchmarks on contemporary Fedora |
+//! | Noise: lognormal per-step + two Pareto spike classes | residual-OS-noise structure; produces the paper's p95/p99 separation and the p99.9 convergence |
+
+use vf_hostsw::HostCosts;
+use vf_pcie::{LinkConfig, PcieGen};
+use vf_sim::{Jitter, NoiseModel, SpikeClass, Time};
+
+/// Full testbed calibration.
+#[derive(Clone, Debug)]
+pub struct Calibration {
+    /// PCIe link (timing + split parameters).
+    pub link: LinkConfig,
+    /// Host software step costs.
+    pub costs: HostCosts,
+    /// Host residual-noise model.
+    pub noise: NoiseModel,
+}
+
+impl Calibration {
+    /// The paper's testbed: Alinx AX7A200 (Gen2 x2) in a Fedora 37
+    /// desktop.
+    pub fn fedora37_alinx() -> Self {
+        Calibration {
+            link: LinkConfig::gen2_x2(),
+            costs: HostCosts::fedora37(),
+            noise: Self::fedora37_noise(),
+        }
+    }
+
+    /// The residual noise of an otherwise-idle Fedora desktop.
+    ///
+    /// * Per-step jitter: lognormal, median 140 ns, σ(log) = 1.0 —
+    ///   cache/TLB/branch state variation per kernel path.
+    /// * Wait spikes, class 1: p = 0.16 per interruptible interval,
+    ///   Pareto(min 2.2 µs, α 2.1, cap 28 µs) — timer ticks, softirq and
+    ///   kworker interference. Shapes p95/p99.
+    /// * Wait spikes, class 2: p = 0.003, Pareto(min 24 µs, α 2.8, cap
+    ///   110 µs) — rare long stalls (SMM, RCU, faults). Dominates p99.9
+    ///   for **both** drivers, which is why Table I's VirtIO advantage
+    ///   fades at 99.9%.
+    pub fn fedora37_noise() -> NoiseModel {
+        NoiseModel {
+            scale: 1.0,
+            step_jitter: Jitter {
+                median: Time::from_ns(140),
+                sigma: 1.0,
+            },
+            spikes: vec![
+                SpikeClass {
+                    prob: 0.16,
+                    min: Time::from_ns(2_200),
+                    alpha: 2.1,
+                    cap: Time::from_us(28),
+                },
+                SpikeClass {
+                    prob: 0.003,
+                    min: Time::from_us(24),
+                    alpha: 2.8,
+                    cap: Time::from_us(110),
+                },
+            ],
+        }
+    }
+
+    /// Calibration with the noise scaled by `factor` (experiment E11).
+    pub fn with_noise_scale(mut self, factor: f64) -> Self {
+        self.noise = self.noise.scaled(factor);
+        self
+    }
+
+    /// Calibration with a different link (portability sweep E5).
+    pub fn with_link(mut self, gen: PcieGen, lanes: u32) -> Self {
+        self.link = LinkConfig::with(gen, lanes);
+        self
+    }
+
+    /// A noiseless variant for deterministic tests.
+    pub fn noiseless() -> Self {
+        let mut c = Self::fedora37_alinx();
+        c.noise = NoiseModel::noiseless();
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vf_pcie::PcieLink;
+
+    #[test]
+    fn default_link_matches_board() {
+        let c = Calibration::fedora37_alinx();
+        assert_eq!(c.link.lanes, 2);
+        assert!(matches!(c.link.gen, PcieGen::Gen2));
+    }
+
+    #[test]
+    fn effective_dma_rate_matches_paper_slope() {
+        // Table I slope ⇒ ~85–95 MB/s effective for sub-KiB DMA.
+        let c = Calibration::fedora37_alinx();
+        let bw = PcieLink::new(c.link).read_bandwidth_mbps(1024);
+        assert!((55.0..110.0).contains(&bw), "bw = {bw} MB/s");
+    }
+
+    #[test]
+    fn noise_scaling_composes() {
+        let c = Calibration::fedora37_alinx().with_noise_scale(0.0);
+        assert_eq!(c.noise.scale, 0.0);
+        let c2 = Calibration::fedora37_alinx().with_noise_scale(2.0);
+        assert!((c2.noise.scale - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn portability_link_override() {
+        let c = Calibration::fedora37_alinx().with_link(PcieGen::Gen3, 8);
+        assert_eq!(c.link.lanes, 8);
+    }
+}

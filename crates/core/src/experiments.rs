@@ -1,0 +1,889 @@
+//! Experiment drivers: one function per paper artifact.
+//!
+//! | Function | Paper artifact |
+//! |---|---|
+//! | [`run_matrix`] + [`fig3`] | Fig. 3 — round-trip latency distribution, VirtIO vs XDMA, payloads 64 B–1 KiB |
+//! | [`fig4`] | Fig. 4 — VirtIO latency breakdown (software vs hardware, mean ± σ) |
+//! | [`fig5`] | Fig. 5 — XDMA latency breakdown |
+//! | [`table1`] | Table I — 95/99/99.9% tail latencies |
+//! | [`portability`] | E5 — §VI future work: link generation/width sweep |
+//! | [`xdma_irq_ablation`] | E6 — §IV-C: XDMA with the real data-ready interrupt restored |
+//! | [`virtio_features`] | E7 — EVENT_IDX and queue-size ablation |
+//! | [`bypass`] | E8 — §III-A driver-bypass DMA interface |
+//! | [`device_types`] | E9 — console (prior work \[14\]) vs net device |
+//! | [`csum_offload`] | E10 — checksum offload on/off |
+//! | [`noise_sweep`] | E11 — host-noise sensitivity |
+//!
+//! Runs within a sweep are independent simulations and execute in
+//! parallel ([`vf_sim::parallel_map`]), one thread per configuration.
+
+use vf_fpga::user_logic::UdpEcho;
+use vf_fpga::{Persona, VirtioFpgaDevice};
+use vf_pcie::{HostMemory, PcieGen, PcieLink};
+use vf_sim::{parallel_map, SampleSet, Summary, Time};
+use vf_virtio::net::VirtioNetConfig;
+use vf_virtio::DeviceType;
+
+use crate::calibration::Calibration;
+use crate::report::RunResult;
+use crate::testbed::{DriverKind, Testbed, TestbedConfig};
+use crate::{PAPER_PACKETS, PAPER_PAYLOADS};
+
+/// Shared experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentParams {
+    /// Packets per configuration (paper: 50 000).
+    pub packets: usize,
+    /// Base seed; each cell derives its own.
+    pub seed: u64,
+    /// Worker threads for sweeps.
+    pub threads: usize,
+}
+
+impl ExperimentParams {
+    /// The paper's parameters.
+    pub fn paper(seed: u64) -> Self {
+        ExperimentParams {
+            packets: PAPER_PACKETS,
+            seed,
+            threads: vf_sim::default_threads(),
+        }
+    }
+
+    /// Reduced parameters for quick runs and CI.
+    pub fn quick(seed: u64) -> Self {
+        ExperimentParams {
+            packets: 2_000,
+            seed,
+            threads: vf_sim::default_threads(),
+        }
+    }
+}
+
+/// The full driver × payload measurement matrix behind Figs. 3–5 and
+/// Table I (ten runs; both drivers over the five paper payloads).
+pub struct Matrix {
+    /// Results in `(driver, payload)` order: all VirtIO rows first.
+    pub cells: Vec<RunResult>,
+}
+
+impl Matrix {
+    /// The cell for `(driver, payload)`.
+    pub fn cell(&mut self, driver: DriverKind, payload: usize) -> &mut RunResult {
+        self.cells
+            .iter_mut()
+            .find(|c| c.driver == driver && c.payload == payload)
+            .expect("cell present by construction")
+    }
+}
+
+/// Run the paper's measurement matrix.
+pub fn run_matrix(params: ExperimentParams) -> Matrix {
+    let mut configs = Vec::new();
+    for driver in [DriverKind::Virtio, DriverKind::Xdma] {
+        for (i, &payload) in PAPER_PAYLOADS.iter().enumerate() {
+            let seed = params
+                .seed
+                .wrapping_mul(1000)
+                .wrapping_add(i as u64)
+                .wrapping_add(if driver == DriverKind::Xdma { 500 } else { 0 });
+            configs.push(TestbedConfig::paper(driver, payload, params.packets, seed));
+        }
+    }
+    let cells = parallel_map(configs, params.threads, |cfg| {
+        Testbed::new(cfg.clone()).run()
+    });
+    Matrix { cells }
+}
+
+/// One payload row of the Fig. 3 distribution comparison.
+pub struct Fig3Row {
+    /// Payload size (bytes).
+    pub payload: usize,
+    /// VirtIO round-trip summary.
+    pub virtio: Summary,
+    /// XDMA round-trip summary.
+    pub xdma: Summary,
+    /// VirtIO latency histogram (µs).
+    pub virtio_hist: vf_sim::Histogram,
+    /// XDMA latency histogram (µs).
+    pub xdma_hist: vf_sim::Histogram,
+}
+
+/// Fig. 3: the round-trip latency distributions.
+pub fn fig3(matrix: &mut Matrix) -> Vec<Fig3Row> {
+    PAPER_PAYLOADS
+        .iter()
+        .map(|&payload| {
+            let v = matrix.cell(DriverKind::Virtio, payload);
+            let virtio = v.total_summary();
+            let virtio_hist = v.histogram(0.0, 120.0, 60);
+            let x = matrix.cell(DriverKind::Xdma, payload);
+            let xdma = x.total_summary();
+            let xdma_hist = x.histogram(0.0, 120.0, 60);
+            Fig3Row {
+                payload,
+                virtio,
+                xdma,
+                virtio_hist,
+                xdma_hist,
+            }
+        })
+        .collect()
+}
+
+/// One payload row of a Fig. 4/5 breakdown.
+pub struct BreakdownRow {
+    /// Payload size (bytes).
+    pub payload: usize,
+    /// Software-component summary (total − hw − response generation).
+    pub sw: Summary,
+    /// Hardware-component summary (FPGA counters).
+    pub hw: Summary,
+    /// Total round-trip summary.
+    pub total: Summary,
+}
+
+fn breakdown(matrix: &mut Matrix, driver: DriverKind) -> Vec<BreakdownRow> {
+    PAPER_PAYLOADS
+        .iter()
+        .map(|&payload| {
+            let c = matrix.cell(driver, payload);
+            BreakdownRow {
+                payload,
+                sw: c.sw_summary(),
+                hw: c.hw_summary(),
+                total: c.total_summary(),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 4: the VirtIO driver's software/hardware breakdown.
+pub fn fig4(matrix: &mut Matrix) -> Vec<BreakdownRow> {
+    breakdown(matrix, DriverKind::Virtio)
+}
+
+/// Fig. 5: the XDMA driver's software/hardware breakdown.
+pub fn fig5(matrix: &mut Matrix) -> Vec<BreakdownRow> {
+    breakdown(matrix, DriverKind::Xdma)
+}
+
+/// One payload row of Table I.
+pub struct Table1Row {
+    /// Payload size (bytes).
+    pub payload: usize,
+    /// VirtIO summary (p95/p99/p999 fields are the table cells).
+    pub virtio: Summary,
+    /// XDMA summary.
+    pub xdma: Summary,
+}
+
+/// Table I: tail latencies at 95/99/99.9%.
+pub fn table1(matrix: &mut Matrix) -> Vec<Table1Row> {
+    PAPER_PAYLOADS
+        .iter()
+        .map(|&payload| Table1Row {
+            payload,
+            virtio: matrix.cell(DriverKind::Virtio, payload).total_summary(),
+            xdma: matrix.cell(DriverKind::Xdma, payload).total_summary(),
+        })
+        .collect()
+}
+
+/// One row of the portability sweep (E5).
+pub struct PortabilityRow {
+    /// Link generation.
+    pub gen: PcieGen,
+    /// Lane count.
+    pub lanes: u32,
+    /// VirtIO round-trip summary at 1 KiB.
+    pub virtio: Summary,
+    /// XDMA round-trip summary at 1 KiB.
+    pub xdma: Summary,
+}
+
+/// E5: the same experiment across link configurations — the cross-device
+/// portability direction the paper's conclusion announces.
+pub fn portability(params: ExperimentParams) -> Vec<PortabilityRow> {
+    let links = [
+        (PcieGen::Gen1, 1),
+        (PcieGen::Gen1, 4),
+        (PcieGen::Gen2, 2),
+        (PcieGen::Gen2, 4),
+        (PcieGen::Gen3, 4),
+        (PcieGen::Gen3, 8),
+    ];
+    let mut configs = Vec::new();
+    for (i, &(gen, lanes)) in links.iter().enumerate() {
+        for driver in [DriverKind::Virtio, DriverKind::Xdma] {
+            let mut cfg = TestbedConfig::paper(
+                driver,
+                1024,
+                params.packets,
+                params.seed.wrapping_add(i as u64 * 7),
+            );
+            cfg.calibration = Calibration::fedora37_alinx().with_link(gen, lanes);
+            configs.push(cfg);
+        }
+    }
+    let results = parallel_map(configs, params.threads, |cfg| {
+        Testbed::new(cfg.clone()).run()
+    });
+    links
+        .iter()
+        .zip(results.chunks(2))
+        .map(|(&(gen, lanes), pair)| {
+            let mut v = SampleSet::from_us(pair[0].total.raw().to_vec());
+            let mut x = SampleSet::from_us(pair[1].total.raw().to_vec());
+            PortabilityRow {
+                gen,
+                lanes,
+                virtio: v.summary(),
+                xdma: x.summary(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the E6 XDMA interrupt ablation.
+pub struct XdmaIrqRow {
+    /// Payload size.
+    pub payload: usize,
+    /// Paper's favourable setup (no data-ready interrupt).
+    pub back_to_back: Summary,
+    /// Realistic setup (poll for the device interrupt before `read()`).
+    pub with_irq: Summary,
+}
+
+/// E6: restore the data-ready interrupt the paper's XDMA setup omits
+/// (§IV-C) and measure how much the omission flattered the vendor
+/// driver.
+pub fn xdma_irq_ablation(params: ExperimentParams) -> Vec<XdmaIrqRow> {
+    let mut configs = Vec::new();
+    for (i, &payload) in PAPER_PAYLOADS.iter().enumerate() {
+        for wait in [false, true] {
+            let mut cfg = TestbedConfig::paper(
+                DriverKind::Xdma,
+                payload,
+                params.packets,
+                params.seed.wrapping_add(i as u64),
+            );
+            cfg.options.xdma_wait_device_irq = wait;
+            configs.push(cfg);
+        }
+    }
+    let results = parallel_map(configs, params.threads, |cfg| {
+        Testbed::new(cfg.clone()).run()
+    });
+    PAPER_PAYLOADS
+        .iter()
+        .zip(results.chunks(2))
+        .map(|(&payload, pair)| {
+            let mut a = SampleSet::from_us(pair[0].total.raw().to_vec());
+            let mut b = SampleSet::from_us(pair[1].total.raw().to_vec());
+            XdmaIrqRow {
+                payload,
+                back_to_back: a.summary(),
+                with_irq: b.summary(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the E7 VirtIO feature ablation.
+pub struct VirtioFeatureRow {
+    /// EVENT_IDX negotiated?
+    pub event_idx: bool,
+    /// Queue size.
+    pub queue_size: u16,
+    /// Round-trip summary at 256 B.
+    pub total: Summary,
+    /// Doorbells actually rung.
+    pub notifications: u64,
+    /// Interrupts actually raised.
+    pub irqs: u64,
+}
+
+/// E7: VirtIO transport ablation — notification suppression and queue
+/// size.
+pub fn virtio_features(params: ExperimentParams) -> Vec<VirtioFeatureRow> {
+    let variants: Vec<(bool, u16)> = vec![
+        (true, 64),
+        (true, 256),
+        (true, 1024),
+        (false, 64),
+        (false, 256),
+        (false, 1024),
+    ];
+    let mut configs = Vec::new();
+    for (i, &(event_idx, queue_size)) in variants.iter().enumerate() {
+        let mut cfg = TestbedConfig::paper(
+            DriverKind::Virtio,
+            256,
+            params.packets,
+            params.seed.wrapping_add(i as u64 * 13),
+        );
+        cfg.options.event_idx = event_idx;
+        cfg.options.queue_size = queue_size;
+        configs.push(cfg);
+    }
+    let results = parallel_map(configs, params.threads, |cfg| {
+        Testbed::new(cfg.clone()).run()
+    });
+    variants
+        .iter()
+        .zip(results)
+        .map(|(&(event_idx, queue_size), r)| {
+            let mut s = SampleSet::from_us(r.total.raw().to_vec());
+            VirtioFeatureRow {
+                event_idx,
+                queue_size,
+                total: s.summary(),
+                notifications: r.notifications,
+                irqs: r.irqs,
+            }
+        })
+        .collect()
+}
+
+/// One row of the E8 bypass-interface measurement.
+pub struct BypassRow {
+    /// Transfer size (bytes).
+    pub size: usize,
+    /// Device-initiated read latency (host → FPGA), µs.
+    pub read_us: f64,
+    /// Device-initiated write latency (FPGA → host), µs.
+    pub write_us: f64,
+    /// Round trip (read + write back), µs.
+    pub round_trip_us: f64,
+    /// For contrast: the full driver-path round trip at 1 KiB, µs (mean).
+    pub driver_path_us: f64,
+}
+
+/// E8: the driver-bypass DMA interface of §III-A — user logic moving
+/// data to/from host memory with no VirtIO driver involvement.
+pub fn bypass(params: ExperimentParams) -> Vec<BypassRow> {
+    // Driver-path baseline at 1 KiB for contrast.
+    let mut baseline = Testbed::new(TestbedConfig::paper(
+        DriverKind::Virtio,
+        1024,
+        params.packets.min(5_000),
+        params.seed,
+    ))
+    .run();
+    let driver_path_us = baseline.total_summary().mean_us;
+
+    let mut mem = HostMemory::testbed_default();
+    let mut link = PcieLink::new(Calibration::fedora37_alinx().link);
+    let mut device = VirtioFpgaDevice::new(
+        Persona::Net {
+            cfg: VirtioNetConfig::testbed_default(),
+        },
+        0,
+        &[64, 64],
+        Box::new(UdpEcho::default()),
+    );
+    let mut rows = Vec::new();
+    let mut now = Time::from_us(1);
+    for size in [64usize, 256, 1024, 4096] {
+        let src = mem.alloc(size, 4096);
+        let dst = mem.alloc(size, 4096);
+        let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        HostMemory::write(&mut mem, src, &data);
+
+        let (got, t_read) = device.bypass_read(now, src, size, &mem, &mut link);
+        assert_eq!(got, data, "bypass read must return the host bytes");
+        let read_us = (t_read - now).as_us_f64();
+
+        let t_write = device.bypass_write(t_read, dst, &got, &mut mem, &mut link);
+        assert_eq!(mem.slice(dst, size), &data[..], "bypass write must land");
+        let write_us = (t_write - t_read).as_us_f64();
+
+        rows.push(BypassRow {
+            size,
+            read_us,
+            write_us,
+            round_trip_us: (t_write - now).as_us_f64(),
+            driver_path_us,
+        });
+        now = t_write + Time::from_us(5);
+    }
+    rows
+}
+
+/// One row of the E9 device-type comparison.
+pub struct DeviceTypeRow {
+    /// Device type under test.
+    pub device_type: DeviceType,
+    /// Payload size.
+    pub payload: usize,
+    /// Round-trip summary.
+    pub total: Summary,
+}
+
+/// E9: the console device of the prior work \[14\] vs this paper's net
+/// device — the host-stack depth is the difference, the FPGA framework
+/// is the same.
+pub fn device_types(params: ExperimentParams) -> Vec<DeviceTypeRow> {
+    let cells: Vec<(DeviceType, usize)> = [DeviceType::Console, DeviceType::Net]
+        .iter()
+        .flat_map(|&dt| [16usize, 64, 256].iter().map(move |&p| (dt, p)))
+        .collect();
+    let mut configs = Vec::new();
+    for (i, &(dt, payload)) in cells.iter().enumerate() {
+        let mut cfg = TestbedConfig::paper(
+            DriverKind::Virtio,
+            payload,
+            params.packets,
+            params.seed.wrapping_add(i as u64 * 3),
+        );
+        cfg.options.device_type = dt;
+        configs.push(cfg);
+    }
+    let results = parallel_map(configs, params.threads, |cfg| {
+        Testbed::new(cfg.clone()).run()
+    });
+    cells
+        .iter()
+        .zip(results)
+        .map(|(&(device_type, payload), r)| {
+            let mut s = SampleSet::from_us(r.total.raw().to_vec());
+            DeviceTypeRow {
+                device_type,
+                payload,
+                total: s.summary(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the E10 checksum-offload ablation.
+pub struct CsumRow {
+    /// Payload size.
+    pub payload: usize,
+    /// Software-checksum run (the paper's configuration).
+    pub sw_csum: Summary,
+    /// Device-offload run (`VIRTIO_NET_F_CSUM`).
+    pub offload: Summary,
+    /// Mean software-component time with software checksums (µs).
+    pub sw_component_sw_csum: f64,
+    /// Mean software-component time with offload (µs).
+    pub sw_component_offload: f64,
+}
+
+/// E10: checksum offload on/off — the "additional tasks on behalf of the
+/// host" capability of §III-A.
+pub fn csum_offload(params: ExperimentParams) -> Vec<CsumRow> {
+    let payloads = [64usize, 512, 1024];
+    let mut configs = Vec::new();
+    for (i, &payload) in payloads.iter().enumerate() {
+        for offload in [false, true] {
+            let mut cfg = TestbedConfig::paper(
+                DriverKind::Virtio,
+                payload,
+                params.packets,
+                params.seed.wrapping_add(i as u64),
+            );
+            cfg.options.csum_offload = offload;
+            configs.push(cfg);
+        }
+    }
+    let results = parallel_map(configs, params.threads, |cfg| {
+        Testbed::new(cfg.clone()).run()
+    });
+    payloads
+        .iter()
+        .zip(results.chunks(2))
+        .map(|(&payload, pair)| {
+            let mut a = SampleSet::from_us(pair[0].total.raw().to_vec());
+            let mut b = SampleSet::from_us(pair[1].total.raw().to_vec());
+            let mut asw = SampleSet::from_us(pair[0].sw.raw().to_vec());
+            let mut bsw = SampleSet::from_us(pair[1].sw.raw().to_vec());
+            CsumRow {
+                payload,
+                sw_csum: a.summary(),
+                offload: b.summary(),
+                sw_component_sw_csum: asw.summary().mean_us,
+                sw_component_offload: bsw.summary().mean_us,
+            }
+        })
+        .collect()
+}
+
+/// One row of the E11 noise-sensitivity sweep.
+pub struct NoiseRow {
+    /// Noise scale factor.
+    pub scale: f64,
+    /// VirtIO summary at 256 B.
+    pub virtio: Summary,
+    /// XDMA summary at 256 B.
+    pub xdma: Summary,
+}
+
+/// E11: scale the host-noise model and watch the tails respond — the
+/// mechanism check for the paper's variance claims.
+pub fn noise_sweep(params: ExperimentParams) -> Vec<NoiseRow> {
+    let scales = [0.0, 0.5, 1.0, 2.0];
+    let mut configs = Vec::new();
+    for (i, &scale) in scales.iter().enumerate() {
+        for driver in [DriverKind::Virtio, DriverKind::Xdma] {
+            let mut cfg = TestbedConfig::paper(
+                driver,
+                256,
+                params.packets,
+                params.seed.wrapping_add(i as u64 * 11),
+            );
+            cfg.calibration = Calibration::fedora37_alinx().with_noise_scale(scale);
+            configs.push(cfg);
+        }
+    }
+    let results = parallel_map(configs, params.threads, |cfg| {
+        Testbed::new(cfg.clone()).run()
+    });
+    scales
+        .iter()
+        .zip(results.chunks(2))
+        .map(|(&scale, pair)| {
+            let mut v = SampleSet::from_us(pair[0].total.raw().to_vec());
+            let mut x = SampleSet::from_us(pair[1].total.raw().to_vec());
+            NoiseRow {
+                scale,
+                virtio: v.summary(),
+                xdma: x.summary(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the E12 pipelined-throughput comparison.
+pub struct PipelineRow {
+    /// Window depth.
+    pub depth: usize,
+    /// VirtIO throughput (packets/s).
+    pub virtio_pps: f64,
+    /// Mean per-packet latency at this depth (µs).
+    pub virtio_latency_us: f64,
+    /// Doorbells per packet (EVENT_IDX coalescing at work).
+    pub doorbells_per_packet: f64,
+    /// Interrupts per packet.
+    pub irqs_per_packet: f64,
+    /// The XDMA character device's serial throughput, for contrast.
+    pub xdma_serial_pps: f64,
+}
+
+/// E12: pipelined throughput — where VirtIO's notification suppression
+/// earns its keep, and where the character-device model cannot follow
+/// (one blocking `write()`/`read()` pair per transfer).
+pub fn pipelined_throughput(params: ExperimentParams) -> Vec<PipelineRow> {
+    let base = TestbedConfig::paper(DriverKind::Virtio, 256, params.packets, params.seed);
+    let xdma_pps = crate::pipeline::xdma_serial_pps(&TestbedConfig::paper(
+        DriverKind::Xdma,
+        256,
+        params.packets.min(5_000),
+        params.seed,
+    ));
+    let depths = [1usize, 2, 4, 8, 16, 32, 64];
+    let results = parallel_map(depths.to_vec(), params.threads, |&depth| {
+        crate::pipeline::run_pipelined(&base, depth)
+    });
+    results
+        .into_iter()
+        .map(|r| {
+            assert_eq!(r.verify_failures, 0);
+            PipelineRow {
+                depth: r.depth,
+                virtio_pps: r.pps,
+                virtio_latency_us: r.latency.mean(),
+                doorbells_per_packet: r.doorbells_per_packet(),
+                irqs_per_packet: r.irqs_per_packet(),
+                xdma_serial_pps: xdma_pps,
+            }
+        })
+        .collect()
+}
+
+/// One row of the E13 deployment-model comparison (the paper's Fig. 1).
+pub struct DeploymentRow {
+    /// Payload size.
+    pub payload: usize,
+    /// Fig. 1 right: direct VirtIO-to-FPGA (this paper's approach).
+    pub direct_virtio: Summary,
+    /// Bare legacy driver (no virtualization; the paper's comparison).
+    pub raw_xdma: Summary,
+    /// Fig. 1 left: guest virtio front-end + host back-end worker +
+    /// legacy driver.
+    pub paravirt: Summary,
+}
+
+/// E13: quantify Fig. 1 — how much latency the classic paravirtualized
+/// stack (emulated back-end + legacy driver) costs compared to the
+/// direct VirtIO-FPGA interface that eliminates both layers.
+pub fn deployment_models(params: ExperimentParams) -> Vec<DeploymentRow> {
+    let payloads = [64usize, 256, 1024];
+    let mut configs = Vec::new();
+    for (i, &payload) in payloads.iter().enumerate() {
+        let seed = params.seed.wrapping_add(i as u64 * 5);
+        configs.push(TestbedConfig::paper(
+            DriverKind::Virtio,
+            payload,
+            params.packets,
+            seed,
+        ));
+        configs.push(TestbedConfig::paper(
+            DriverKind::Xdma,
+            payload,
+            params.packets,
+            seed,
+        ));
+        let mut vhost = TestbedConfig::paper(DriverKind::Xdma, payload, params.packets, seed);
+        vhost.options.vhost_overlay = true;
+        configs.push(vhost);
+    }
+    let results = parallel_map(configs, params.threads, |cfg| {
+        Testbed::new(cfg.clone()).run()
+    });
+    payloads
+        .iter()
+        .zip(results.chunks(3))
+        .map(|(&payload, trio)| {
+            let mut v = SampleSet::from_us(trio[0].total.raw().to_vec());
+            let mut x = SampleSet::from_us(trio[1].total.raw().to_vec());
+            let mut p = SampleSet::from_us(trio[2].total.raw().to_vec());
+            DeploymentRow {
+                payload,
+                direct_virtio: v.summary(),
+                raw_xdma: x.summary(),
+                paravirt: p.summary(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the E14 card-memory ablation.
+pub struct CardMemRow {
+    /// Payload size.
+    pub payload: usize,
+    /// VirtIO with BRAM (the paper's design).
+    pub virtio_bram: Summary,
+    /// VirtIO with external DDR.
+    pub virtio_ddr: Summary,
+    /// XDMA with BRAM.
+    pub xdma_bram: Summary,
+    /// XDMA with external DDR.
+    pub xdma_ddr: Summary,
+}
+
+/// E14: "BRAM or external DRAM" (§III-A) — swap the card-side memory
+/// under both designs and measure what the slower store costs. Both
+/// drivers pay the same store-and-forward penalty per direction, so the
+/// comparison between them is memory-neutral — the fairness property
+/// §III-B2 engineered by matching memory widths.
+pub fn card_memory(params: ExperimentParams) -> Vec<CardMemRow> {
+    use crate::testbed::CardKind;
+    let payloads = [64usize, 1024];
+    let mut configs = Vec::new();
+    for (i, &payload) in payloads.iter().enumerate() {
+        for driver in [DriverKind::Virtio, DriverKind::Xdma] {
+            for kind in [CardKind::Bram, CardKind::Ddr] {
+                let mut cfg = TestbedConfig::paper(
+                    driver,
+                    payload,
+                    params.packets,
+                    params.seed.wrapping_add(i as u64),
+                );
+                cfg.options.card_memory = kind;
+                configs.push(cfg);
+            }
+        }
+    }
+    let results = parallel_map(configs, params.threads, |cfg| {
+        Testbed::new(cfg.clone()).run()
+    });
+    payloads
+        .iter()
+        .zip(results.chunks(4))
+        .map(|(&payload, quad)| {
+            let mut sets: Vec<SampleSet> = quad
+                .iter()
+                .map(|r| SampleSet::from_us(r.total.raw().to_vec()))
+                .collect();
+            CardMemRow {
+                payload,
+                virtio_bram: sets[0].summary(),
+                virtio_ddr: sets[1].summary(),
+                xdma_bram: sets[2].summary(),
+                xdma_ddr: sets[3].summary(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentParams {
+        ExperimentParams {
+            packets: 300,
+            seed: 7,
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn matrix_has_all_cells() {
+        let mut m = run_matrix(ExperimentParams {
+            packets: 120,
+            seed: 3,
+            threads: 8,
+        });
+        assert_eq!(m.cells.len(), 10);
+        for driver in [DriverKind::Virtio, DriverKind::Xdma] {
+            for &p in &PAPER_PAYLOADS {
+                let c = m.cell(driver, p);
+                assert_eq!(c.packets, 120);
+                assert_eq!(c.verify_failures, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn headline_shapes_hold() {
+        let mut m = run_matrix(ExperimentParams {
+            packets: 2_500,
+            seed: 11,
+            threads: 8,
+        });
+        // Table I shape: VirtIO wins p95 at every payload.
+        for row in table1(&mut m) {
+            assert!(
+                row.virtio.p95_us < row.xdma.p95_us,
+                "p95 at {}B: VirtIO {} vs XDMA {}",
+                row.payload,
+                row.virtio.p95_us,
+                row.xdma.p95_us
+            );
+        }
+        // Fig. 4: VirtIO hardware exceeds software.
+        for row in fig4(&mut m) {
+            assert!(row.hw.mean_us > row.sw.mean_us, "payload {}", row.payload);
+        }
+        // Fig. 5: XDMA software exceeds hardware.
+        for row in fig5(&mut m) {
+            assert!(row.sw.mean_us > row.hw.mean_us, "payload {}", row.payload);
+        }
+        // Fig. 3: lower VirtIO variance.
+        for row in fig3(&mut m) {
+            assert!(row.virtio.std_us < row.xdma.std_us);
+            assert_eq!(row.virtio_hist.total(), 2_500);
+        }
+    }
+
+    #[test]
+    fn bypass_faster_than_driver_path() {
+        let rows = bypass(tiny());
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.read_us > 0.0 && r.write_us > 0.0);
+            if r.size <= 1024 {
+                // At matched size the bypass path skips every software
+                // step, so it must beat the 1 KiB driver-path baseline.
+                assert!(
+                    r.round_trip_us < r.driver_path_us,
+                    "{}B bypass {} vs driver {}",
+                    r.size,
+                    r.round_trip_us,
+                    r.driver_path_us
+                );
+            }
+        }
+        // Larger transfers take longer.
+        assert!(rows[3].read_us > rows[0].read_us);
+    }
+
+    #[test]
+    fn noise_sweep_monotone_tails() {
+        let rows = noise_sweep(ExperimentParams {
+            packets: 1500,
+            seed: 5,
+            threads: 8,
+        });
+        assert_eq!(rows.len(), 4);
+        // Zero noise leaves only deterministic buffer-alignment effects
+        // (TLP splitting varies with the rotating slot addresses), so the
+        // spread collapses to a couple of µs; tails grow with scale.
+        assert!(
+            rows[0].virtio.std_us < 2.5,
+            "std = {}",
+            rows[0].virtio.std_us
+        );
+        assert!(rows[0].virtio.std_us < rows[2].virtio.std_us);
+        assert!(rows[3].virtio.p99_us > rows[1].virtio.p99_us);
+        assert!(rows[3].xdma.p99_us > rows[1].xdma.p99_us);
+    }
+
+    #[test]
+    fn event_idx_reduces_notifications() {
+        let rows = virtio_features(ExperimentParams {
+            packets: 400,
+            seed: 9,
+            threads: 8,
+        });
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            // One doorbell and one interrupt per packet in this
+            // request-response workload, regardless of features.
+            assert!(r.notifications <= 400 + 2);
+            assert!(r.irqs >= 400);
+        }
+    }
+
+    #[test]
+    fn xdma_ablation_slows_xdma() {
+        let rows = xdma_irq_ablation(ExperimentParams {
+            packets: 400,
+            seed: 4,
+            threads: 8,
+        });
+        for r in &rows {
+            assert!(
+                r.with_irq.mean_us > r.back_to_back.mean_us + 2.0,
+                "payload {}: {} vs {}",
+                r.payload,
+                r.with_irq.mean_us,
+                r.back_to_back.mean_us
+            );
+        }
+    }
+
+    #[test]
+    fn console_cheaper_than_net() {
+        let rows = device_types(ExperimentParams {
+            packets: 400,
+            seed: 8,
+            threads: 8,
+        });
+        let console64 = rows
+            .iter()
+            .find(|r| r.device_type == DeviceType::Console && r.payload == 64)
+            .unwrap();
+        let net64 = rows
+            .iter()
+            .find(|r| r.device_type == DeviceType::Net && r.payload == 64)
+            .unwrap();
+        // No UDP/IP stack and no 42-byte encapsulation → faster.
+        assert!(console64.total.mean_us < net64.total.mean_us);
+    }
+
+    #[test]
+    fn csum_offload_shrinks_software_component() {
+        let rows = csum_offload(ExperimentParams {
+            packets: 600,
+            seed: 2,
+            threads: 8,
+        });
+        let big = rows.iter().find(|r| r.payload == 1024).unwrap();
+        assert!(big.sw_component_offload < big.sw_component_sw_csum);
+    }
+}

@@ -1,0 +1,43 @@
+//! # virtio-fpga — host-FPGA PCIe communication testbed
+//!
+//! Reproduction library for *"Performance Evaluation of VirtIO Device
+//! Drivers for Host-FPGA PCIe Communication"* (IPDPSW 2024): a complete,
+//! simulated testbed comparing in-kernel **VirtIO drivers talking
+//! directly to an FPGA** against the vendor-provided **XDMA
+//! character-device driver**, over the same transaction-level PCIe link
+//! and DMA-engine models.
+//!
+//! ```
+//! use virtio_fpga::{DriverKind, Testbed, TestbedConfig};
+//!
+//! let cfg = TestbedConfig::paper(DriverKind::Virtio, 64, 200, 42);
+//! let mut result = Testbed::new(cfg).run();
+//! assert_eq!(result.verify_failures, 0);
+//! let s = result.total_summary();
+//! assert!(s.mean_us > 10.0 && s.mean_us < 100.0);
+//! ```
+//!
+//! * [`calibration`] — every timing constant, anchored and documented;
+//! * [`testbed`] — the discrete-event worlds for both driver stacks;
+//! * [`report`] — sample sets, summaries, table rendering;
+//! * [`experiments`] — one function per paper artifact (Fig. 3, Fig. 4,
+//!   Fig. 5, Table I) plus the extension experiments E5–E11.
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod experiments;
+pub mod pipeline;
+pub mod report;
+pub mod testbed;
+
+pub use calibration::Calibration;
+pub use pipeline::{run_pipelined, xdma_serial_pps, ThroughputResult};
+pub use report::{render_breakdown, render_table1, RunResult};
+pub use testbed::{DriverKind, Testbed, TestbedConfig, TestbedOptions};
+
+/// The payload sizes of the paper's evaluation (§V).
+pub const PAPER_PAYLOADS: [usize; 5] = [64, 128, 256, 512, 1024];
+
+/// Packets per configuration in the paper's methodology (§III-B3).
+pub const PAPER_PACKETS: usize = 50_000;

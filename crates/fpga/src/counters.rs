@@ -1,0 +1,152 @@
+//! Hardware performance counters.
+//!
+//! "The PCIe IP and the VirtIO controller both include hardware
+//! performance counters to measure latency between different events on
+//! the FPGA. The FPGA designs used for testing are running at 125 MHz.
+//! Therefore, the hardware performance counters provide a resolution of
+//! 8 ns." (§III-B3)
+//!
+//! A [`PerfCounter`] is armed at one FSM event and read at another; the
+//! measured interval is quantized to whole fabric cycles exactly as a
+//! free-running counter sampled at both events would be. Banks of
+//! counters aggregate per-packet measurements into the hardware-side
+//! statistics of Figs. 4–5.
+
+use vf_sim::{Time, Welford, FPGA_CYCLE};
+
+/// One start/stop interval counter with 8 ns quantization.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PerfCounter {
+    started_at: Option<Time>,
+}
+
+impl PerfCounter {
+    /// Arm the counter at simulated instant `t`.
+    pub fn start(&mut self, t: Time) {
+        self.started_at = Some(t);
+    }
+
+    /// True if armed.
+    pub fn running(&self) -> bool {
+        self.started_at.is_some()
+    }
+
+    /// Capture the interval from arm to `t`, quantized to fabric cycles
+    /// (each endpoint is sampled on a cycle edge, so the measured value
+    /// is the difference of the two quantized timestamps).
+    pub fn stop(&mut self, t: Time) -> Time {
+        let start = self
+            .started_at
+            .take()
+            .expect("perf counter stopped while not running");
+        t.quantize(FPGA_CYCLE)
+            .saturating_sub(start.quantize(FPGA_CYCLE))
+    }
+}
+
+/// Accumulated statistics for one named hardware interval.
+#[derive(Clone, Debug, Default)]
+pub struct IntervalStats {
+    counter: PerfCounter,
+    /// Aggregate of captured intervals (µs).
+    pub stats: Welford,
+    /// Last captured interval.
+    pub last: Time,
+}
+
+impl IntervalStats {
+    /// Arm at `t`.
+    pub fn start(&mut self, t: Time) {
+        self.counter.start(t);
+    }
+
+    /// Capture at `t`, folding into the aggregate; returns the interval.
+    pub fn stop(&mut self, t: Time) -> Time {
+        let interval = self.counter.stop(t);
+        self.stats.add_time(interval);
+        self.last = interval;
+        interval
+    }
+
+    /// Number of captured intervals.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+}
+
+/// The counter bank the testbed reads per packet: the hardware phases of
+/// one round trip as the paper's breakdown defines them.
+#[derive(Clone, Debug, Default)]
+pub struct RoundTripCounters {
+    /// Notification arrival → request data fully on the FPGA (H2C phase).
+    pub h2c: IntervalStats,
+    /// Response ready → interrupt on the wire (C2H phase).
+    pub c2h: IntervalStats,
+    /// User-logic processing (response generation) — measured so the
+    /// harness can deduct it, as §IV-B prescribes.
+    pub processing: IntervalStats,
+}
+
+impl RoundTripCounters {
+    /// Total hardware time of the last packet (H2C + C2H phases, not the
+    /// deducted processing).
+    pub fn last_hw(&self) -> Time {
+        self.h2c.last + self.c2h.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_quantized_to_8ns() {
+        let mut c = PerfCounter::default();
+        c.start(Time::from_ns(3));
+        // 3 ns quantizes to 0; 101 ns quantizes to 96 → interval 96 ns.
+        assert_eq!(c.stop(Time::from_ns(101)), Time::from_ns(96));
+    }
+
+    #[test]
+    fn exact_cycle_boundaries_pass_through() {
+        let mut c = PerfCounter::default();
+        c.start(Time::from_ns(16));
+        assert_eq!(c.stop(Time::from_ns(96)), Time::from_ns(80));
+    }
+
+    #[test]
+    fn sub_cycle_interval_reads_zero() {
+        let mut c = PerfCounter::default();
+        c.start(Time::from_ns(17));
+        assert_eq!(c.stop(Time::from_ns(23)), Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "not running")]
+    fn stop_without_start_panics() {
+        let mut c = PerfCounter::default();
+        let _ = c.stop(Time::from_ns(8));
+    }
+
+    #[test]
+    fn interval_stats_aggregate() {
+        let mut s = IntervalStats::default();
+        for i in 0..10u64 {
+            s.start(Time::from_us(i * 100));
+            s.stop(Time::from_us(i * 100 + 2));
+        }
+        assert_eq!(s.count(), 10);
+        assert!((s.stats.mean() - 2.0).abs() < 1e-9);
+        assert_eq!(s.last, Time::from_us(2));
+    }
+
+    #[test]
+    fn round_trip_bank_sums_phases() {
+        let mut b = RoundTripCounters::default();
+        b.h2c.start(Time::ZERO);
+        b.h2c.stop(Time::from_us(10));
+        b.c2h.start(Time::from_us(20));
+        b.c2h.stop(Time::from_us(25));
+        assert_eq!(b.last_hw(), Time::from_us(15));
+    }
+}

@@ -1,0 +1,169 @@
+//! Host network configuration: routing table and ARP cache.
+//!
+//! The paper's §III-B1: "Entries are added to the operating system's
+//! routing table and ARP cache to facilitate routing packets from the
+//! test application to the FPGA." This module models those two kernel
+//! structures — longest-prefix-match routing and a static-capable ARP
+//! cache — so the UDP send path performs the same lookups the kernel
+//! does.
+
+use crate::packet::{Ipv4Addr, MacAddr};
+
+/// One routing-table entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Destination network.
+    pub dest: Ipv4Addr,
+    /// Prefix length.
+    pub prefix_len: u8,
+    /// Next hop (`None` = directly connected).
+    pub gateway: Option<Ipv4Addr>,
+    /// Egress interface index.
+    pub ifindex: u32,
+}
+
+/// A longest-prefix-match routing table.
+#[derive(Clone, Debug, Default)]
+pub struct RoutingTable {
+    routes: Vec<Route>,
+}
+
+impl RoutingTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a route (`ip route add <dest>/<plen> dev <ifindex> [via gw]`).
+    pub fn add(&mut self, dest: Ipv4Addr, prefix_len: u8, gateway: Option<Ipv4Addr>, ifindex: u32) {
+        assert!(prefix_len <= 32);
+        self.routes.push(Route {
+            dest,
+            prefix_len,
+            gateway,
+            ifindex,
+        });
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<&Route> {
+        self.routes
+            .iter()
+            .filter(|r| dst.network(r.prefix_len) == r.dest.network(r.prefix_len))
+            .max_by_key(|r| r.prefix_len)
+    }
+
+    /// Number of routes installed.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when no routes are installed.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+/// The ARP cache (IP → MAC), with static entries as the paper configures.
+#[derive(Clone, Debug, Default)]
+pub struct ArpCache {
+    entries: Vec<(Ipv4Addr, MacAddr, bool)>,
+    /// Lookups that missed (would have triggered ARP resolution and a
+    /// multi-ms stall — the experiments pre-populate to avoid this, like
+    /// the paper does).
+    pub misses: u64,
+}
+
+impl ArpCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a static entry (`arp -s <ip> <mac>`).
+    pub fn add_static(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        self.entries.retain(|(i, _, _)| *i != ip);
+        self.entries.push((ip, mac, true));
+    }
+
+    /// Learn a dynamic entry (from received traffic).
+    pub fn learn(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        if self
+            .entries
+            .iter()
+            .any(|(i, _, is_static)| *i == ip && *is_static)
+        {
+            return; // static entries win
+        }
+        self.entries.retain(|(i, _, _)| *i != ip);
+        self.entries.push((ip, mac, false));
+    }
+
+    /// Resolve an IP; counts misses.
+    pub fn resolve(&mut self, ip: Ipv4Addr) -> Option<MacAddr> {
+        match self.entries.iter().find(|(i, _, _)| *i == ip) {
+            Some((_, mac, _)) => Some(*mac),
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut rt = RoutingTable::new();
+        rt.add(
+            Ipv4Addr::new(0, 0, 0, 0),
+            0,
+            Some(Ipv4Addr::new(192, 168, 1, 1)),
+            1,
+        );
+        rt.add(Ipv4Addr::new(10, 0, 0, 0), 8, None, 2);
+        rt.add(Ipv4Addr::new(10, 0, 0, 0), 24, None, 3);
+        assert_eq!(rt.lookup(Ipv4Addr::new(10, 0, 0, 5)).unwrap().ifindex, 3);
+        assert_eq!(rt.lookup(Ipv4Addr::new(10, 9, 0, 5)).unwrap().ifindex, 2);
+        assert_eq!(rt.lookup(Ipv4Addr::new(8, 8, 8, 8)).unwrap().ifindex, 1);
+        assert_eq!(rt.len(), 3);
+    }
+
+    #[test]
+    fn no_default_route_means_none() {
+        let mut rt = RoutingTable::new();
+        rt.add(Ipv4Addr::new(10, 0, 0, 0), 24, None, 2);
+        assert!(rt.lookup(Ipv4Addr::new(11, 0, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn arp_static_and_miss_accounting() {
+        let mut arp = ArpCache::new();
+        let fpga_ip = Ipv4Addr::new(10, 0, 0, 2);
+        let fpga_mac = MacAddr([0x02, 0xFB, 0x0A, 0, 0, 1]);
+        assert_eq!(arp.resolve(fpga_ip), None);
+        assert_eq!(arp.misses, 1);
+        arp.add_static(fpga_ip, fpga_mac);
+        assert_eq!(arp.resolve(fpga_ip), Some(fpga_mac));
+        assert_eq!(arp.misses, 1);
+    }
+
+    #[test]
+    fn dynamic_does_not_override_static() {
+        let mut arp = ArpCache::new();
+        let ip = Ipv4Addr::new(10, 0, 0, 2);
+        let static_mac = MacAddr([2, 0, 0, 0, 0, 1]);
+        let other_mac = MacAddr([2, 0, 0, 0, 0, 9]);
+        arp.add_static(ip, static_mac);
+        arp.learn(ip, other_mac);
+        assert_eq!(arp.resolve(ip), Some(static_mac));
+        // But dynamic learning works for new IPs and updates.
+        let ip2 = Ipv4Addr::new(10, 0, 0, 3);
+        arp.learn(ip2, other_mac);
+        arp.learn(ip2, static_mac);
+        assert_eq!(arp.resolve(ip2), Some(static_mac));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests on the host network stack: framing round trips,
+//! checksum soundness, routing determinism.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use vf_hostsw::{
+    build_udp_frame, parse_udp_frame, udp_checksum, Ipv4Addr, MacAddr, ParseError, RoutingTable,
+    UdpFlow, UDP_OVERHEAD,
+};
+
+fn arb_flow() -> impl Strategy<Value = UdpFlow> {
+    (
+        any::<[u8; 6]>(),
+        any::<[u8; 6]>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+    )
+        .prop_map(|(sm, dm, si, di, sp, dp)| UdpFlow {
+            src_mac: MacAddr(sm),
+            dst_mac: MacAddr(dm),
+            src_ip: Ipv4Addr(si),
+            dst_ip: Ipv4Addr(di),
+            src_port: sp,
+            dst_port: dp,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn frame_round_trip(flow in arb_flow(), ip_id in any::<u16>(), payload in vec(any::<u8>(), 0..1400)) {
+        let frame = build_udp_frame(&flow, ip_id, &payload, true);
+        prop_assert_eq!(frame.len(), payload.len() + UDP_OVERHEAD);
+        let parsed = parse_udp_frame(&frame).unwrap();
+        prop_assert_eq!(parsed.flow, flow);
+        prop_assert_eq!(parsed.ip_id, ip_id);
+        prop_assert_eq!(parsed.payload, payload);
+        prop_assert!(parsed.udp_csum_ok);
+    }
+
+    #[test]
+    fn any_single_payload_bitflip_caught(
+        flow in arb_flow(),
+        payload in vec(any::<u8>(), 1..256),
+        byte in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut frame = build_udp_frame(&flow, 1, &payload, true);
+        let idx = UDP_OVERHEAD + byte.index(payload.len());
+        frame[idx] ^= 1 << bit;
+        // Either the UDP checksum catches it, or (for flips that also
+        // hit... nothing else — payload flips never touch the IP header)
+        // the parse must flag the datagram.
+        let parsed = parse_udp_frame(&frame).unwrap();
+        prop_assert!(!parsed.udp_csum_ok, "flip at {idx} bit {bit} escaped");
+    }
+
+    #[test]
+    fn echo_reversal_is_involution(flow in arb_flow()) {
+        prop_assert_eq!(flow.reversed().reversed(), flow);
+        // Reversal swaps both endpoints completely.
+        let r = flow.reversed();
+        prop_assert_eq!(r.src_ip, flow.dst_ip);
+        prop_assert_eq!(r.dst_mac.0, flow.src_mac.0);
+        prop_assert_eq!(r.src_port, flow.dst_port);
+    }
+
+    #[test]
+    fn udp_checksum_zero_reserved(src in any::<u32>(), dst in any::<u32>(), data in vec(any::<u8>(), 8..64)) {
+        // RFC 768: a computed checksum of 0 is transmitted as 0xFFFF, so
+        // 0 (= "no checksum") is never produced.
+        let c = udp_checksum(Ipv4Addr(src), Ipv4Addr(dst), &data);
+        prop_assert_ne!(c, 0);
+    }
+
+    #[test]
+    fn truncation_never_panics(frame in vec(any::<u8>(), 0..200), cut in any::<prop::sample::Index>()) {
+        // Arbitrary bytes, arbitrarily truncated: parse must return an
+        // error or a well-formed datagram, never panic.
+        let cut = cut.index(frame.len().max(1)).min(frame.len());
+        match parse_udp_frame(&frame[..cut]) {
+            Ok(p) => prop_assert!(p.payload.len() <= cut),
+            Err(
+                ParseError::Truncated
+                | ParseError::NotIpv4
+                | ParseError::NotUdp
+                | ParseError::BadIpChecksum,
+            ) => {}
+        }
+    }
+
+    #[test]
+    fn routing_longest_prefix_invariant(
+        routes in vec((any::<u32>(), 0u8..33, any::<u32>()), 1..20),
+        probe in any::<u32>(),
+    ) {
+        let mut table = RoutingTable::new();
+        for (i, &(net, plen, _gw)) in routes.iter().enumerate() {
+            table.add(Ipv4Addr(net), plen, None, i as u32);
+        }
+        if let Some(hit) = table.lookup(Ipv4Addr(probe)) {
+            // The hit actually matches...
+            prop_assert_eq!(
+                Ipv4Addr(probe).network(hit.prefix_len),
+                hit.dest.network(hit.prefix_len)
+            );
+            // ...and no other matching route is more specific.
+            for r in routes.iter().map(|&(net, plen, _)| (Ipv4Addr(net), plen)) {
+                let matches = Ipv4Addr(probe).network(r.1) == r.0.network(r.1);
+                if matches {
+                    prop_assert!(r.1 <= hit.prefix_len);
+                }
+            }
+        } else {
+            // No route matched at all.
+            for &(net, plen, _) in &routes {
+                prop_assert!(
+                    Ipv4Addr(probe).network(plen) != Ipv4Addr(net).network(plen)
+                );
+            }
+        }
+    }
+}

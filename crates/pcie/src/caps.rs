@@ -1,0 +1,317 @@
+//! PCI capability structures.
+//!
+//! Three capabilities matter to the testbed:
+//!
+//! * **PCI Express** (ID `0x10`) — carries the device's MPS/MRRS control
+//!   words; both designs have it because both use the same PCIe hard
+//!   block.
+//! * **MSI-X** (ID `0x11`) — both drivers use MSI-X interrupts.
+//! * **Vendor-specific** (ID `0x09`) — VirtIO's transport capabilities
+//!   (`struct virtio_pci_cap`, VirtIO 1.2 §4.1.4). One instance per
+//!   configuration structure (common/notify/ISR/device), each pointing at
+//!   a BAR region. This is requirement (iii) of the paper's §II-C: the
+//!   modified PCIe IP must add these to the capability list so the
+//!   in-kernel virtio-pci driver can find the structures on the FPGA.
+//!
+//! Capabilities are encoded as raw bytes (after the generic id/next
+//! header, which the config-space builder writes) exactly as a driver
+//! walking config space would read them.
+
+/// Capability ID: PCI Express.
+pub const CAP_ID_PCIE: u8 = 0x10;
+/// Capability ID: MSI-X.
+pub const CAP_ID_MSIX: u8 = 0x11;
+/// Capability ID: vendor-specific (used by VirtIO).
+pub const CAP_ID_VENDOR: u8 = 0x09;
+
+/// A capability that can be appended to a config space.
+pub trait Capability {
+    /// Capability ID byte.
+    fn id(&self) -> u8;
+    /// Body bytes following the 2-byte id/next header.
+    fn encode(&self) -> Vec<u8>;
+}
+
+/// PCI Express capability (abridged to the fields the testbed reads).
+#[derive(Clone, Copy, Debug)]
+pub struct PcieCapability {
+    /// Supported Max Payload Size encoding (0 = 128 B, 1 = 256 B, ...).
+    pub max_payload_supported: u8,
+    /// Link width advertised (x1..x16).
+    pub link_width: u8,
+    /// Link speed: 1 = 2.5 GT/s, 2 = 5 GT/s, 3 = 8 GT/s.
+    pub link_speed: u8,
+}
+
+impl Capability for PcieCapability {
+    fn id(&self) -> u8 {
+        CAP_ID_PCIE
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut b = vec![0u8; 0x3A];
+        // PCIe capabilities register: version 2, endpoint type (0).
+        b[0] = 0x02;
+        // Device capabilities: MPS supported in bits 2:0.
+        b[2] = self.max_payload_supported & 0x7;
+        // Link capabilities at offset 0x0A (body-relative): speed 3:0,
+        // width 9:4.
+        let linkcap = (self.link_speed as u32 & 0xF) | ((self.link_width as u32 & 0x3F) << 4);
+        b[0x0A..0x0E].copy_from_slice(&linkcap.to_le_bytes());
+        // Link status at 0x10: current speed/width mirror the capabilities
+        // (the link trains to full width in the model).
+        let linkst = (self.link_speed as u16 & 0xF) | ((self.link_width as u16 & 0x3F) << 4);
+        b[0x10..0x12].copy_from_slice(&linkst.to_le_bytes());
+        b
+    }
+}
+
+/// MSI-X capability.
+#[derive(Clone, Copy, Debug)]
+pub struct MsixCapability {
+    /// Number of vectors implemented (1..=2048).
+    pub table_size: u16,
+    /// BAR holding the vector table.
+    pub table_bar: u8,
+    /// Offset of the vector table within that BAR (8-byte aligned).
+    pub table_offset: u32,
+    /// BAR holding the pending-bit array.
+    pub pba_bar: u8,
+    /// Offset of the PBA within that BAR.
+    pub pba_offset: u32,
+}
+
+impl Capability for MsixCapability {
+    fn id(&self) -> u8 {
+        CAP_ID_MSIX
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        assert!((1..=2048).contains(&self.table_size));
+        let mut b = vec![0u8; 10];
+        // Message control: table size N-1 in bits 10:0; enable (15) and
+        // function mask (14) start clear — the driver flips them by
+        // writing this word.
+        let ctrl = self.table_size - 1;
+        b[0..2].copy_from_slice(&ctrl.to_le_bytes());
+        let table = self.table_offset | self.table_bar as u32;
+        b[2..6].copy_from_slice(&table.to_le_bytes());
+        let pba = self.pba_offset | self.pba_bar as u32;
+        b[6..10].copy_from_slice(&pba.to_le_bytes());
+        b
+    }
+}
+
+/// VirtIO configuration structure types (VirtIO 1.2 §4.1.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum VirtioCfgType {
+    /// Common configuration (device status, feature bits, queue setup).
+    Common = 1,
+    /// Notification area (doorbells).
+    Notify = 2,
+    /// ISR status byte.
+    Isr = 3,
+    /// Device-specific configuration (e.g. `virtio_net_config`).
+    Device = 4,
+    /// PCI configuration access window.
+    Pci = 5,
+}
+
+impl VirtioCfgType {
+    /// Parse from the `cfg_type` byte of a vendor capability.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => VirtioCfgType::Common,
+            2 => VirtioCfgType::Notify,
+            3 => VirtioCfgType::Isr,
+            4 => VirtioCfgType::Device,
+            5 => VirtioCfgType::Pci,
+            _ => return None,
+        })
+    }
+}
+
+/// `struct virtio_pci_cap` — one VirtIO transport capability.
+#[derive(Clone, Copy, Debug)]
+pub struct VirtioPciCap {
+    /// Which configuration structure this capability locates.
+    pub cfg_type: VirtioCfgType,
+    /// BAR index holding the structure.
+    pub bar: u8,
+    /// Offset within the BAR.
+    pub offset: u32,
+    /// Length of the structure.
+    pub length: u32,
+    /// For [`VirtioCfgType::Notify`]: the queue-notify-offset multiplier
+    /// appended as an extra dword.
+    pub notify_off_multiplier: Option<u32>,
+}
+
+impl Capability for VirtioPciCap {
+    fn id(&self) -> u8 {
+        CAP_ID_VENDOR
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        assert_eq!(
+            self.notify_off_multiplier.is_some(),
+            self.cfg_type == VirtioCfgType::Notify,
+            "notify multiplier present iff notify capability"
+        );
+        // Body layout after the 2-byte generic header:
+        //   cap_len(1) cfg_type(1) bar(1) id(1) padding(2) offset(4) len(4)
+        //   [notify_off_multiplier(4)]
+        let cap_len: u8 = if self.notify_off_multiplier.is_some() {
+            20
+        } else {
+            16
+        };
+        let mut b = Vec::with_capacity(cap_len as usize - 2);
+        b.push(cap_len);
+        b.push(self.cfg_type as u8);
+        b.push(self.bar);
+        b.push(0); // id (for multiple device-cfg windows; unused)
+        b.extend_from_slice(&[0, 0]); // padding
+        b.extend_from_slice(&self.offset.to_le_bytes());
+        b.extend_from_slice(&self.length.to_le_bytes());
+        if let Some(m) = self.notify_off_multiplier {
+            b.extend_from_slice(&m.to_le_bytes());
+        }
+        b
+    }
+}
+
+/// A capability located while walking a config space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FoundCap {
+    /// Capability ID.
+    pub id: u8,
+    /// Config-space offset of the capability header.
+    pub offset: u16,
+}
+
+/// Parsed view of a VirtIO vendor capability read back out of config space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParsedVirtioCap {
+    /// Structure type.
+    pub cfg_type: VirtioCfgType,
+    /// BAR index.
+    pub bar: u8,
+    /// Offset within the BAR.
+    pub offset: u32,
+    /// Structure length.
+    pub length: u32,
+    /// Notify multiplier (notify capability only).
+    pub notify_off_multiplier: Option<u32>,
+}
+
+/// Decode a VirtIO vendor capability at `offset` in `cfg`.
+pub fn parse_virtio_cap(cfg: &crate::config::ConfigSpace, offset: u16) -> Option<ParsedVirtioCap> {
+    if cfg.read_u8(offset) != CAP_ID_VENDOR {
+        return None;
+    }
+    let cap_len = cfg.read_u8(offset + 2);
+    let cfg_type = VirtioCfgType::from_u8(cfg.read_u8(offset + 3))?;
+    let bar = cfg.read_u8(offset + 4);
+    let off = cfg.read_u32(offset + 8);
+    let length = cfg.read_u32(offset + 12);
+    let notify = if cfg_type == VirtioCfgType::Notify && cap_len >= 20 {
+        Some(cfg.read_u32(offset + 16))
+    } else {
+        None
+    };
+    Some(ParsedVirtioCap {
+        cfg_type,
+        bar,
+        offset: off,
+        length,
+        notify_off_multiplier: notify,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BarDef, ConfigSpaceBuilder};
+
+    #[test]
+    fn msix_encoding() {
+        let cap = MsixCapability {
+            table_size: 16,
+            table_bar: 1,
+            table_offset: 0x1000,
+            pba_bar: 1,
+            pba_offset: 0x2000,
+        };
+        let b = cap.encode();
+        assert_eq!(u16::from_le_bytes([b[0], b[1]]), 15); // N-1
+        assert_eq!(u32::from_le_bytes(b[2..6].try_into().unwrap()), 0x1001);
+        assert_eq!(u32::from_le_bytes(b[6..10].try_into().unwrap()), 0x2001);
+    }
+
+    #[test]
+    fn virtio_cap_round_trip() {
+        let cfg = ConfigSpaceBuilder::new(0x1AF4, 0x1041)
+            .bar(0, BarDef::Mem32 { size: 16 * 1024 })
+            .capability(&VirtioPciCap {
+                cfg_type: VirtioCfgType::Common,
+                bar: 0,
+                offset: 0x0,
+                length: 0x38,
+                notify_off_multiplier: None,
+            })
+            .capability(&VirtioPciCap {
+                cfg_type: VirtioCfgType::Notify,
+                bar: 0,
+                offset: 0x1000,
+                length: 0x100,
+                notify_off_multiplier: Some(4),
+            })
+            .build();
+        let head = cfg.read_u8(crate::config::reg::CAP_PTR) as u16;
+        let common = parse_virtio_cap(&cfg, head).unwrap();
+        assert_eq!(common.cfg_type, VirtioCfgType::Common);
+        assert_eq!(common.length, 0x38);
+        assert_eq!(common.notify_off_multiplier, None);
+        let next = cfg.read_u8(head + 1) as u16;
+        let notify = parse_virtio_cap(&cfg, next).unwrap();
+        assert_eq!(notify.cfg_type, VirtioCfgType::Notify);
+        assert_eq!(notify.offset, 0x1000);
+        assert_eq!(notify.notify_off_multiplier, Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "notify multiplier")]
+    fn notify_without_multiplier_rejected() {
+        let cap = VirtioPciCap {
+            cfg_type: VirtioCfgType::Notify,
+            bar: 0,
+            offset: 0,
+            length: 4,
+            notify_off_multiplier: None,
+        };
+        let _ = cap.encode();
+    }
+
+    #[test]
+    fn cfg_type_parse() {
+        assert_eq!(VirtioCfgType::from_u8(1), Some(VirtioCfgType::Common));
+        assert_eq!(VirtioCfgType::from_u8(5), Some(VirtioCfgType::Pci));
+        assert_eq!(VirtioCfgType::from_u8(0), None);
+        assert_eq!(VirtioCfgType::from_u8(9), None);
+    }
+
+    #[test]
+    fn pcie_cap_link_fields() {
+        let cap = PcieCapability {
+            max_payload_supported: 1,
+            link_width: 2,
+            link_speed: 2,
+        };
+        let b = cap.encode();
+        let linkcap = u32::from_le_bytes(b[0x0A..0x0E].try_into().unwrap());
+        assert_eq!(linkcap & 0xF, 2); // 5 GT/s
+        assert_eq!((linkcap >> 4) & 0x3F, 2); // x2
+    }
+}

@@ -1,0 +1,331 @@
+//! The discrete-event engine.
+//!
+//! A [`Simulation`] owns a time-ordered event queue and a user-supplied
+//! [`World`]. Each event carries a world-defined message; delivering an event
+//! hands the message to [`World::deliver`], which may schedule further events
+//! through the [`Scheduler`] handle it receives. Events at equal timestamps
+//! are delivered in scheduling order (deterministic FIFO tie-break), so a
+//! simulation is a pure function of its seed and initial events — a property
+//! the reproduction harness relies on for run-to-run comparability.
+//!
+//! The engine is intentionally minimal: components, wiring, and message
+//! typing live in the crates that model the testbed. Keeping the kernel
+//! generic lets every substrate crate unit-test its state machines against a
+//! tiny ad-hoc `World` without dragging in the full testbed.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// The environment a simulation runs: receives each delivered message and
+/// schedules follow-up work.
+pub trait World {
+    /// The message type carried by events.
+    type Msg;
+
+    /// Deliver one message at simulated instant `now`.
+    fn deliver(&mut self, now: Time, msg: Self::Msg, sched: &mut Scheduler<Self::Msg>);
+}
+
+/// Handle through which a [`World`] schedules future events while one is
+/// being delivered. Scheduling is relative (`after`) or absolute (`at`);
+/// absolute times in the past are clamped to `now` rather than rejected,
+/// matching the "can't happen before it is noticed" semantics of hardware
+/// signals crossing clock domains.
+pub struct Scheduler<M> {
+    now: Time,
+    staged: Vec<(Time, M)>,
+}
+
+impl<M> Scheduler<M> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedule `msg` to be delivered `delay` after now.
+    #[inline]
+    pub fn after(&mut self, delay: Time, msg: M) {
+        self.staged.push((self.now + delay, msg));
+    }
+
+    /// Schedule `msg` at absolute instant `at` (clamped to now).
+    #[inline]
+    pub fn at(&mut self, at: Time, msg: M) {
+        self.staged.push((at.max(self.now), msg));
+    }
+
+    /// Schedule `msg` for delivery at the current instant, after all other
+    /// events already staged or queued for this instant.
+    #[inline]
+    pub fn now_msg(&mut self, msg: M) {
+        self.staged.push((self.now, msg));
+    }
+}
+
+/// An event in the queue: delivery time, FIFO sequence number, message.
+struct Scheduled<M> {
+    at: Time,
+    seq: u64,
+    msg: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Outcome of [`Simulation::run`]: why the event loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Idle,
+    /// The time horizon was reached with events still pending.
+    Horizon,
+    /// The event budget was exhausted — almost always a livelock in the
+    /// modeled system (e.g. a polling loop that never backs off).
+    EventBudget,
+}
+
+/// A discrete-event simulation over world `W`.
+pub struct Simulation<W: World> {
+    /// The modeled system; public so the harness can inspect state between
+    /// runs and inject stimulus.
+    pub world: W,
+    queue: BinaryHeap<Reverse<Scheduled<W::Msg>>>,
+    now: Time,
+    seq: u64,
+    delivered: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Create a simulation at time zero with an empty queue.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            queue: BinaryHeap::new(),
+            now: Time::ZERO,
+            seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last delivered event).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total events delivered so far.
+    #[inline]
+    pub fn events_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule a message from outside the event loop (initial stimulus,
+    /// or new stimulus between [`run`](Self::run) calls).
+    pub fn schedule(&mut self, delay: Time, msg: W::Msg) {
+        self.schedule_at(self.now + delay, msg);
+    }
+
+    /// Schedule at an absolute instant (clamped to now).
+    pub fn schedule_at(&mut self, at: Time, msg: W::Msg) {
+        let at = at.max(self.now);
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            msg,
+        }));
+        self.seq += 1;
+    }
+
+    /// Deliver the single earliest event. Returns `false` if the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
+        self.now = ev.at;
+        let mut sched = Scheduler {
+            now: self.now,
+            staged: Vec::new(),
+        };
+        self.world.deliver(self.now, ev.msg, &mut sched);
+        self.delivered += 1;
+        for (at, msg) in sched.staged {
+            self.queue.push(Reverse(Scheduled {
+                at,
+                seq: self.seq,
+                msg,
+            }));
+            self.seq += 1;
+        }
+        true
+    }
+
+    /// Run until the queue drains, `horizon` is passed, or `max_events`
+    /// deliveries have been made.
+    pub fn run(&mut self, horizon: Time, max_events: u64) -> RunOutcome {
+        let budget_end = self.delivered + max_events;
+        loop {
+            match self.queue.peek() {
+                None => return RunOutcome::Idle,
+                Some(Reverse(ev)) if ev.at > horizon => return RunOutcome::Horizon,
+                Some(_) => {}
+            }
+            if self.delivered >= budget_end {
+                return RunOutcome::EventBudget;
+            }
+            self.step();
+        }
+    }
+
+    /// Run until the queue drains (with a generous livelock guard).
+    pub fn run_to_idle(&mut self) -> RunOutcome {
+        self.run(Time::MAX, u64::MAX / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy world: echoes each integer message `n` as `n-1` after 10 ns,
+    /// recording the delivery order.
+    struct Countdown {
+        log: Vec<(Time, u32)>,
+    }
+
+    impl World for Countdown {
+        type Msg = u32;
+        fn deliver(&mut self, now: Time, msg: u32, sched: &mut Scheduler<u32>) {
+            self.log.push((now, msg));
+            if msg > 0 {
+                sched.after(Time::from_ns(10), msg - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn countdown_runs_to_idle() {
+        let mut sim = Simulation::new(Countdown { log: Vec::new() });
+        sim.schedule(Time::from_ns(5), 3);
+        assert_eq!(sim.run_to_idle(), RunOutcome::Idle);
+        assert_eq!(
+            sim.world.log,
+            vec![
+                (Time::from_ns(5), 3),
+                (Time::from_ns(15), 2),
+                (Time::from_ns(25), 1),
+                (Time::from_ns(35), 0),
+            ]
+        );
+        assert_eq!(sim.events_delivered(), 4);
+        assert_eq!(sim.now(), Time::from_ns(35));
+    }
+
+    #[test]
+    fn fifo_tie_break_is_schedule_order() {
+        struct Recorder(Vec<u32>);
+        impl World for Recorder {
+            type Msg = u32;
+            fn deliver(&mut self, _: Time, msg: u32, _: &mut Scheduler<u32>) {
+                self.0.push(msg);
+            }
+        }
+        let mut sim = Simulation::new(Recorder(Vec::new()));
+        for i in 0..100 {
+            sim.schedule(Time::from_ns(42), i);
+        }
+        sim.run_to_idle();
+        assert_eq!(sim.world.0, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn horizon_stops_before_future_events() {
+        let mut sim = Simulation::new(Countdown { log: Vec::new() });
+        sim.schedule(Time::from_ns(5), 10);
+        let outcome = sim.run(Time::from_ns(26), u64::MAX / 2);
+        assert_eq!(outcome, RunOutcome::Horizon);
+        // Events at 5, 15, 25 delivered; 35 pending.
+        assert_eq!(sim.world.log.len(), 3);
+        assert_eq!(sim.pending(), 1);
+        // Resuming picks up where it left off.
+        assert_eq!(sim.run_to_idle(), RunOutcome::Idle);
+        assert_eq!(sim.world.log.len(), 11);
+    }
+
+    #[test]
+    fn event_budget_catches_livelock() {
+        /// Pathological world that reschedules itself at the same instant.
+        struct Livelock;
+        impl World for Livelock {
+            type Msg = ();
+            fn deliver(&mut self, _: Time, _: (), sched: &mut Scheduler<()>) {
+                sched.now_msg(());
+            }
+        }
+        let mut sim = Simulation::new(Livelock);
+        sim.schedule(Time::ZERO, ());
+        assert_eq!(sim.run(Time::MAX, 1000), RunOutcome::EventBudget);
+        assert_eq!(sim.events_delivered(), 1000);
+        assert_eq!(sim.now(), Time::ZERO);
+    }
+
+    #[test]
+    fn past_absolute_times_clamp_to_now() {
+        struct ClampWorld {
+            times: Vec<Time>,
+        }
+        impl World for ClampWorld {
+            type Msg = bool;
+            fn deliver(&mut self, now: Time, first: bool, sched: &mut Scheduler<bool>) {
+                self.times.push(now);
+                if first {
+                    // Try to schedule in the past; must clamp to `now`.
+                    sched.at(Time::ZERO, false);
+                }
+            }
+        }
+        let mut sim = Simulation::new(ClampWorld { times: Vec::new() });
+        sim.schedule(Time::from_ns(100), true);
+        sim.run_to_idle();
+        assert_eq!(
+            sim.world.times,
+            vec![Time::from_ns(100), Time::from_ns(100)]
+        );
+    }
+
+    #[test]
+    fn stimulus_between_runs() {
+        let mut sim = Simulation::new(Countdown { log: Vec::new() });
+        sim.schedule(Time::from_ns(1), 0);
+        sim.run_to_idle();
+        sim.schedule(Time::from_ns(1), 1);
+        sim.run_to_idle();
+        assert_eq!(sim.world.log.len(), 3);
+        // Second stimulus lands relative to the time the first run ended.
+        assert_eq!(sim.world.log[1].0, Time::from_ns(2));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests on the statistics and noise layers: percentile
+//! correctness against a naive reference, Welford numerical agreement,
+//! noise-model bounds, and RNG stream independence.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use vf_sim::{Jitter, NoiseModel, SampleSet, SimRng, SpikeClass, Time, Welford};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn percentile_matches_naive_nearest_rank(
+        samples in vec(0.0f64..1e6, 1..400),
+        p in 0.0f64..100.0,
+    ) {
+        let mut set = SampleSet::from_us(samples.clone());
+        let got = set.percentile(p);
+        // Naive nearest-rank reference.
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = p / 100.0 * sorted.len() as f64;
+        let rank = if (exact - exact.round()).abs() < 1e-6 {
+            exact.round() as usize
+        } else {
+            exact.ceil() as usize
+        };
+        let want = sorted[rank.clamp(1, sorted.len()) - 1];
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn summary_orderings_hold(samples in vec(0.0f64..1e5, 2..500)) {
+        let mut set = SampleSet::from_us(samples);
+        let s = set.summary();
+        prop_assert!(s.min_us <= s.p25_us);
+        prop_assert!(s.p25_us <= s.median_us);
+        prop_assert!(s.median_us <= s.p75_us);
+        prop_assert!(s.p75_us <= s.p95_us);
+        prop_assert!(s.p95_us <= s.p99_us);
+        prop_assert!(s.p99_us <= s.p999_us);
+        prop_assert!(s.p999_us <= s.max_us);
+        prop_assert!(s.min_us <= s.mean_us && s.mean_us <= s.max_us);
+        prop_assert!(s.std_us >= 0.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass(samples in vec(-1e6f64..1e6, 2..400)) {
+        let mut w = Welford::new();
+        for &x in &samples {
+            w.add(x);
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((w.std_dev() - var.sqrt()).abs() < 1e-5 * (1.0 + var.sqrt()));
+        prop_assert_eq!(w.count(), samples.len() as u64);
+    }
+
+    #[test]
+    fn histogram_total_always_matches(
+        samples in vec(-50.0f64..200.0, 1..300),
+        bins in 1usize..64,
+    ) {
+        let set = SampleSet::from_us(samples.clone());
+        let h = set.histogram(0.0, 100.0, bins);
+        prop_assert_eq!(h.total(), samples.len() as u64);
+    }
+
+    #[test]
+    fn noise_never_reduces_base(base_ns in 0u64..100_000, seed in any::<u64>()) {
+        let model = NoiseModel {
+            scale: 1.0,
+            step_jitter: Jitter {
+                median: Time::from_ns(150),
+                sigma: 1.2,
+            },
+            spikes: vec![SpikeClass {
+                prob: 0.1,
+                min: Time::from_us(2),
+                alpha: 2.0,
+                cap: Time::from_us(50),
+            }],
+        };
+        let mut rng = SimRng::new(seed);
+        let base = Time::from_ns(base_ns);
+        for _ in 0..50 {
+            prop_assert!(model.sw_step(&mut rng, base) >= base);
+        }
+    }
+
+    #[test]
+    fn spike_caps_respected(seed in any::<u64>(), cap_us in 1u64..100) {
+        let class = SpikeClass {
+            prob: 1.0,
+            min: Time::from_ns(500),
+            alpha: 0.8, // heavy tail to stress the cap
+            cap: Time::from_us(cap_us),
+        };
+        let mut rng = SimRng::new(seed);
+        for _ in 0..200 {
+            prop_assert!(class.sample(&mut rng) <= Time::from_us(cap_us));
+        }
+    }
+
+    #[test]
+    fn derived_streams_unrelated(seed in any::<u64>(), tag_a in any::<u64>(), tag_b in any::<u64>()) {
+        prop_assume!(tag_a != tag_b);
+        let root = SimRng::new(seed);
+        let mut a = root.derive(tag_a);
+        let mut b = root.derive(tag_b);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        prop_assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn time_quantize_bounds(ps in any::<u64>(), tick_pow in 0u32..20) {
+        let tick = Time::from_ps(1u64 << tick_pow);
+        let t = Time::from_ps(ps);
+        let q = t.quantize(tick);
+        prop_assert!(q <= t);
+        prop_assert!(t.as_ps() - q.as_ps() < tick.as_ps());
+        prop_assert_eq!(q.as_ps() % tick.as_ps(), 0);
+    }
+}

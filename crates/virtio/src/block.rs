@@ -1,0 +1,338 @@
+//! virtio-blk device type — the "more VirtIO device types" contribution
+//! bullet. A request queue carries 3-part chains: a 16-byte readable
+//! header, the data buffers, and a 1-byte writable status footer
+//! (VirtIO 1.2 §5.2.6).
+
+use crate::device_queue::Chain;
+use crate::mem::GuestMemory;
+
+/// Queue index of the request queue.
+pub const REQUEST_QUEUE: u16 = 0;
+
+/// Sector size the spec fixes for request addressing.
+pub const SECTOR_SIZE: usize = 512;
+
+/// virtio-blk feature bits.
+pub mod feature {
+    /// Maximum segment count in `seg_max` is valid.
+    pub const SEG_MAX: u64 = 1 << 2;
+    /// Device is read-only.
+    pub const RO: u64 = 1 << 5;
+    /// Flush command supported.
+    pub const FLUSH: u64 = 1 << 9;
+}
+
+/// Request types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+pub enum BlkReqType {
+    /// Read sectors.
+    In = 0,
+    /// Write sectors.
+    Out = 1,
+    /// Flush the write cache.
+    Flush = 4,
+}
+
+/// Request status byte values.
+pub mod blk_status {
+    /// Success.
+    pub const OK: u8 = 0;
+    /// I/O error.
+    pub const IOERR: u8 = 1;
+    /// Unsupported request.
+    pub const UNSUPP: u8 = 2;
+}
+
+/// `struct virtio_blk_config` (abridged to the fields the testbed uses).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VirtioBlkConfig {
+    /// Device capacity in 512-byte sectors.
+    pub capacity: u64,
+    /// Maximum segments per request.
+    pub seg_max: u32,
+}
+
+impl VirtioBlkConfig {
+    /// Encoded size of the exposed fields.
+    pub const LEN: usize = 16;
+
+    /// Serialize to config-space layout (capacity at 0, seg_max at 12 per
+    /// the spec's field order with size_max at 8 left zero).
+    pub fn to_bytes(self) -> [u8; Self::LEN] {
+        let mut b = [0u8; Self::LEN];
+        b[0..8].copy_from_slice(&self.capacity.to_le_bytes());
+        b[12..16].copy_from_slice(&self.seg_max.to_le_bytes());
+        b
+    }
+
+    /// MMIO read of `len` bytes at `off`.
+    pub fn read(&self, off: u64, len: usize) -> u64 {
+        let bytes = self.to_bytes();
+        let mut v = 0u64;
+        for i in 0..len.min(8) {
+            let idx = off as usize + i;
+            let byte = if idx < Self::LEN { bytes[idx] } else { 0 };
+            v |= (byte as u64) << (8 * i);
+        }
+        v
+    }
+}
+
+/// A parsed block request (header + data placement + status slot).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlkRequest {
+    /// Request type.
+    pub req_type: BlkReqType,
+    /// Starting sector.
+    pub sector: u64,
+    /// `(addr, len, writable)` of each data buffer.
+    pub data: Vec<(u64, u32, bool)>,
+    /// Address of the 1-byte status footer.
+    pub status_addr: u64,
+}
+
+/// Request-parsing failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlkParseError {
+    /// Chain has fewer than header + status descriptors.
+    TooShort,
+    /// Header descriptor is not 16 readable bytes.
+    BadHeader,
+    /// Status descriptor is not 1 writable byte.
+    BadStatus,
+    /// Unknown request type.
+    UnknownType(u32),
+}
+
+impl BlkRequest {
+    /// Parse a request chain: readable 16-byte header, data descriptors,
+    /// writable 1-byte status.
+    pub fn parse<M: GuestMemory>(mem: &M, chain: &Chain) -> Result<BlkRequest, BlkParseError> {
+        if chain.bufs.len() < 2 {
+            return Err(BlkParseError::TooShort);
+        }
+        let hdr = chain.bufs[0];
+        if hdr.writable || hdr.len != 16 {
+            return Err(BlkParseError::BadHeader);
+        }
+        let status = *chain.bufs.last().unwrap();
+        if !status.writable || status.len != 1 {
+            return Err(BlkParseError::BadStatus);
+        }
+        let raw_type = mem.read_u32(hdr.addr);
+        let req_type = match raw_type {
+            0 => BlkReqType::In,
+            1 => BlkReqType::Out,
+            4 => BlkReqType::Flush,
+            other => return Err(BlkParseError::UnknownType(other)),
+        };
+        let sector = mem.read_u64(hdr.addr + 8);
+        let data = chain.bufs[1..chain.bufs.len() - 1]
+            .iter()
+            .map(|b| (b.addr, b.len, b.writable))
+            .collect();
+        Ok(BlkRequest {
+            req_type,
+            sector,
+            data,
+            status_addr: status.addr,
+        })
+    }
+
+    /// Encode a request header into guest memory (driver-side helper).
+    pub fn write_header<M: GuestMemory>(mem: &mut M, addr: u64, req_type: BlkReqType, sector: u64) {
+        mem.write_u32(addr, req_type as u32);
+        mem.write_u32(addr + 4, 0); // reserved
+        mem.write_u64(addr + 8, sector);
+    }
+}
+
+/// An in-memory disk backend executing parsed requests — the functional
+/// model behind the virtio-blk demo.
+#[derive(Clone, Debug)]
+pub struct MemDisk {
+    sectors: Vec<u8>,
+    read_only: bool,
+    /// Completed flush commands (for tests/reports).
+    pub flushes: u64,
+}
+
+impl MemDisk {
+    /// A zeroed disk of `capacity` sectors.
+    pub fn new(capacity: u64, read_only: bool) -> Self {
+        MemDisk {
+            sectors: vec![0; capacity as usize * SECTOR_SIZE],
+            read_only,
+            flushes: 0,
+        }
+    }
+
+    /// Capacity in sectors.
+    pub fn capacity(&self) -> u64 {
+        (self.sectors.len() / SECTOR_SIZE) as u64
+    }
+
+    /// Execute `req` against guest memory. Returns `(status, bytes
+    /// written into guest memory)` — the status byte is *also* written to
+    /// `req.status_addr`, and the total includes it, matching what goes
+    /// into the used-ring `len` field.
+    pub fn execute<M: GuestMemory>(&mut self, mem: &mut M, req: &BlkRequest) -> (u8, u32) {
+        let mut written = 0u32;
+        let status = match req.req_type {
+            BlkReqType::Flush => {
+                self.flushes += 1;
+                blk_status::OK
+            }
+            BlkReqType::In => {
+                let mut off = req.sector as usize * SECTOR_SIZE;
+                let mut ok = blk_status::OK;
+                for &(addr, len, writable) in &req.data {
+                    if !writable || off + len as usize > self.sectors.len() {
+                        ok = blk_status::IOERR;
+                        break;
+                    }
+                    mem.write(addr, &self.sectors[off..off + len as usize]);
+                    written += len;
+                    off += len as usize;
+                }
+                ok
+            }
+            BlkReqType::Out => {
+                if self.read_only {
+                    blk_status::IOERR
+                } else {
+                    let mut off = req.sector as usize * SECTOR_SIZE;
+                    let mut ok = blk_status::OK;
+                    for &(addr, len, writable) in &req.data {
+                        if writable || off + len as usize > self.sectors.len() {
+                            ok = blk_status::IOERR;
+                            break;
+                        }
+                        let data = mem.read_vec(addr, len as usize);
+                        self.sectors[off..off + len as usize].copy_from_slice(&data);
+                        off += len as usize;
+                    }
+                    ok
+                }
+            }
+        };
+        mem.write(req.status_addr, &[status]);
+        (status, written + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device_queue::{Chain, ChainBuf};
+    use crate::mem::VecMemory;
+
+    fn chain_of(bufs: &[(u64, u32, bool)]) -> Chain {
+        Chain {
+            head: 0,
+            bufs: bufs
+                .iter()
+                .map(|&(addr, len, writable)| ChainBuf {
+                    addr,
+                    len,
+                    writable,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut mem = VecMemory::new(1 << 16);
+        let mut disk = MemDisk::new(8, false);
+        // Write request: header @0, data @0x100 (1 sector), status @0x400.
+        BlkRequest::write_header(&mut mem, 0, BlkReqType::Out, 2);
+        let payload: Vec<u8> = (0..SECTOR_SIZE).map(|i| i as u8).collect();
+        mem.write(0x100, &payload);
+        let chain = chain_of(&[(0, 16, false), (0x100, 512, false), (0x400, 1, true)]);
+        let req = BlkRequest::parse(&mem, &chain).unwrap();
+        assert_eq!(req.req_type, BlkReqType::Out);
+        assert_eq!(req.sector, 2);
+        let (status, _) = disk.execute(&mut mem, &req);
+        assert_eq!(status, blk_status::OK);
+
+        // Read it back into 0x1000.
+        BlkRequest::write_header(&mut mem, 0x40, BlkReqType::In, 2);
+        let chain = chain_of(&[(0x40, 16, false), (0x1000, 512, true), (0x401, 1, true)]);
+        let req = BlkRequest::parse(&mem, &chain).unwrap();
+        let (status, written) = disk.execute(&mut mem, &req);
+        assert_eq!(status, blk_status::OK);
+        assert_eq!(written, 513);
+        assert_eq!(mem.read_vec(0x1000, 512), payload);
+        assert_eq!(mem.read_vec(0x401, 1), vec![blk_status::OK]);
+    }
+
+    #[test]
+    fn read_only_disk_rejects_writes() {
+        let mut mem = VecMemory::new(1 << 16);
+        let mut disk = MemDisk::new(4, true);
+        BlkRequest::write_header(&mut mem, 0, BlkReqType::Out, 0);
+        let chain = chain_of(&[(0, 16, false), (0x100, 512, false), (0x400, 1, true)]);
+        let req = BlkRequest::parse(&mem, &chain).unwrap();
+        let (status, _) = disk.execute(&mut mem, &req);
+        assert_eq!(status, blk_status::IOERR);
+    }
+
+    #[test]
+    fn out_of_range_read_errors() {
+        let mut mem = VecMemory::new(1 << 16);
+        let mut disk = MemDisk::new(2, false);
+        BlkRequest::write_header(&mut mem, 0, BlkReqType::In, 5);
+        let chain = chain_of(&[(0, 16, false), (0x100, 512, true), (0x400, 1, true)]);
+        let req = BlkRequest::parse(&mem, &chain).unwrap();
+        let (status, _) = disk.execute(&mut mem, &req);
+        assert_eq!(status, blk_status::IOERR);
+    }
+
+    #[test]
+    fn flush_counts() {
+        let mut mem = VecMemory::new(4096);
+        let mut disk = MemDisk::new(2, false);
+        BlkRequest::write_header(&mut mem, 0, BlkReqType::Flush, 0);
+        let chain = chain_of(&[(0, 16, false), (0x400, 1, true)]);
+        let req = BlkRequest::parse(&mem, &chain).unwrap();
+        let (status, written) = disk.execute(&mut mem, &req);
+        assert_eq!(status, blk_status::OK);
+        assert_eq!(written, 1);
+        assert_eq!(disk.flushes, 1);
+    }
+
+    #[test]
+    fn parse_errors() {
+        let mem = VecMemory::new(4096);
+        assert_eq!(
+            BlkRequest::parse(&mem, &chain_of(&[(0, 16, false)])).unwrap_err(),
+            BlkParseError::TooShort
+        );
+        assert_eq!(
+            BlkRequest::parse(&mem, &chain_of(&[(0, 8, false), (0x400, 1, true)])).unwrap_err(),
+            BlkParseError::BadHeader
+        );
+        assert_eq!(
+            BlkRequest::parse(&mem, &chain_of(&[(0, 16, false), (0x400, 2, true)])).unwrap_err(),
+            BlkParseError::BadStatus
+        );
+        let mut mem = VecMemory::new(4096);
+        mem.write_u32(0, 99);
+        assert_eq!(
+            BlkRequest::parse(&mem, &chain_of(&[(0, 16, false), (0x400, 1, true)])).unwrap_err(),
+            BlkParseError::UnknownType(99)
+        );
+    }
+
+    #[test]
+    fn config_encoding() {
+        let c = VirtioBlkConfig {
+            capacity: 0x1_0000,
+            seg_max: 4,
+        };
+        assert_eq!(c.read(0, 8), 0x1_0000);
+        assert_eq!(c.read(12, 4), 4);
+    }
+}

@@ -1,0 +1,93 @@
+//! virtio-console device type — the device implemented by the prior work
+//! \[14\] that this paper extends. Kept in the testbed both for the
+//! device-type comparison experiment (E9) and to demonstrate how little
+//! changes between device types: only this config structure and the queue
+//! count differ from virtio-net.
+
+/// Queue index of the receive queue (port 0).
+pub const RX_QUEUE: u16 = 0;
+/// Queue index of the transmit queue (port 0).
+pub const TX_QUEUE: u16 = 1;
+
+/// virtio-console feature bits (VirtIO 1.2 §5.3.3).
+pub mod feature {
+    /// Console size (`cols`/`rows`) is valid.
+    pub const SIZE: u64 = 1 << 0;
+    /// Device supports multiple ports.
+    pub const MULTIPORT: u64 = 1 << 1;
+    /// Emergency write support.
+    pub const EMERG_WRITE: u64 = 1 << 2;
+}
+
+/// `struct virtio_console_config`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VirtioConsoleConfig {
+    /// Console columns (SIZE feature).
+    pub cols: u16,
+    /// Console rows (SIZE feature).
+    pub rows: u16,
+    /// Maximum ports (MULTIPORT feature).
+    pub max_nr_ports: u32,
+    /// Emergency write register (EMERG_WRITE feature).
+    pub emerg_wr: u32,
+}
+
+impl VirtioConsoleConfig {
+    /// Encoded size.
+    pub const LEN: usize = 12;
+
+    /// The single-port console of \[14\].
+    pub fn testbed_default() -> Self {
+        VirtioConsoleConfig {
+            cols: 80,
+            rows: 25,
+            max_nr_ports: 1,
+            emerg_wr: 0,
+        }
+    }
+
+    /// Serialize to config-space layout.
+    pub fn to_bytes(self) -> [u8; Self::LEN] {
+        let mut b = [0u8; Self::LEN];
+        b[0..2].copy_from_slice(&self.cols.to_le_bytes());
+        b[2..4].copy_from_slice(&self.rows.to_le_bytes());
+        b[4..8].copy_from_slice(&self.max_nr_ports.to_le_bytes());
+        b[8..12].copy_from_slice(&self.emerg_wr.to_le_bytes());
+        b
+    }
+
+    /// MMIO read of `len` bytes at `off`.
+    pub fn read(&self, off: u64, len: usize) -> u64 {
+        let bytes = self.to_bytes();
+        let mut v = 0u64;
+        for i in 0..len.min(8) {
+            let idx = off as usize + i;
+            let byte = if idx < Self::LEN { bytes[idx] } else { 0 };
+            v |= (byte as u64) << (8 * i);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_layout() {
+        let c = VirtioConsoleConfig::testbed_default();
+        let b = c.to_bytes();
+        assert_eq!(u16::from_le_bytes([b[0], b[1]]), 80);
+        assert_eq!(u16::from_le_bytes([b[2], b[3]]), 25);
+        assert_eq!(u32::from_le_bytes(b[4..8].try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn mmio_reads() {
+        let c = VirtioConsoleConfig::testbed_default();
+        assert_eq!(c.read(0, 2), 80);
+        assert_eq!(c.read(2, 2), 25);
+        assert_eq!(c.read(4, 4), 1);
+        assert_eq!(c.read(12, 4), 0);
+    }
+}

@@ -1,0 +1,270 @@
+//! virtio-net device type: header, features, device-specific config.
+//!
+//! The paper's main extension over \[14\] is implementing this device type
+//! on the FPGA (§III-A): the device-specific configuration structure
+//! (MAC, MTU, status, ...) plus RX/TX queues. Every packet on a
+//! virtio-net queue is prefixed by `struct virtio_net_hdr`, which carries
+//! the checksum/GSO offload contract between driver and device.
+
+use crate::mem::GuestMemory;
+
+/// Queue index of `receiveq1`.
+pub const RX_QUEUE: u16 = 0;
+/// Queue index of `transmitq1`.
+pub const TX_QUEUE: u16 = 1;
+
+/// virtio-net feature bits (VirtIO 1.2 §5.1.3).
+pub mod feature {
+    /// Device handles packets with partial checksum (TX csum offload).
+    pub const CSUM: u64 = 1 << 0;
+    /// Driver handles packets with partial checksum (RX csum offload).
+    pub const GUEST_CSUM: u64 = 1 << 1;
+    /// Device reports its MTU.
+    pub const MTU: u64 = 1 << 3;
+    /// Device has a MAC address in config space.
+    pub const MAC: u64 = 1 << 5;
+    /// Driver can merge receive buffers.
+    pub const MRG_RXBUF: u64 = 1 << 15;
+    /// Config `status` field is valid (link up/down).
+    pub const STATUS: u64 = 1 << 16;
+    /// Control virtqueue present.
+    pub const CTRL_VQ: u64 = 1 << 17;
+}
+
+/// `virtio_net_config.status` bit: link is up.
+pub const NET_S_LINK_UP: u16 = 1;
+
+/// `virtio_net_hdr.flags`: checksum must be completed by the receiver.
+pub const HDR_F_NEEDS_CSUM: u8 = 1;
+/// `virtio_net_hdr.flags`: checksum already validated by the device.
+pub const HDR_F_DATA_VALID: u8 = 2;
+
+/// `virtio_net_hdr.gso_type`: no segmentation offload.
+pub const GSO_NONE: u8 = 0;
+
+/// `struct virtio_net_hdr` as it appears on every queue buffer
+/// (VERSION_1 layout: `num_buffers` always present → 12 bytes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VirtioNetHdr {
+    /// `HDR_F_*` flags.
+    pub flags: u8,
+    /// `GSO_*` type.
+    pub gso_type: u8,
+    /// Header length for GSO.
+    pub hdr_len: u16,
+    /// GSO segment size.
+    pub gso_size: u16,
+    /// Checksum start offset (NEEDS_CSUM).
+    pub csum_start: u16,
+    /// Checksum store offset relative to `csum_start`.
+    pub csum_offset: u16,
+    /// Buffers merged into this packet (MRG_RXBUF / VERSION_1).
+    pub num_buffers: u16,
+}
+
+impl VirtioNetHdr {
+    /// Encoded size.
+    pub const LEN: usize = 12;
+
+    /// Serialize (little endian).
+    pub fn to_bytes(self) -> [u8; Self::LEN] {
+        let mut b = [0u8; Self::LEN];
+        b[0] = self.flags;
+        b[1] = self.gso_type;
+        b[2..4].copy_from_slice(&self.hdr_len.to_le_bytes());
+        b[4..6].copy_from_slice(&self.gso_size.to_le_bytes());
+        b[6..8].copy_from_slice(&self.csum_start.to_le_bytes());
+        b[8..10].copy_from_slice(&self.csum_offset.to_le_bytes());
+        b[10..12].copy_from_slice(&self.num_buffers.to_le_bytes());
+        b
+    }
+
+    /// Deserialize.
+    pub fn from_bytes(b: &[u8]) -> Self {
+        assert!(b.len() >= Self::LEN);
+        VirtioNetHdr {
+            flags: b[0],
+            gso_type: b[1],
+            hdr_len: u16::from_le_bytes([b[2], b[3]]),
+            gso_size: u16::from_le_bytes([b[4], b[5]]),
+            csum_start: u16::from_le_bytes([b[6], b[7]]),
+            csum_offset: u16::from_le_bytes([b[8], b[9]]),
+            num_buffers: u16::from_le_bytes([b[10], b[11]]),
+        }
+    }
+
+    /// Read a header from guest memory.
+    pub fn read_from<M: GuestMemory>(mem: &M, addr: u64) -> Self {
+        let mut b = [0u8; Self::LEN];
+        mem.read(addr, &mut b);
+        Self::from_bytes(&b)
+    }
+
+    /// Write this header into guest memory.
+    pub fn write_to<M: GuestMemory>(&self, mem: &mut M, addr: u64) {
+        mem.write(addr, &self.to_bytes());
+    }
+}
+
+/// `struct virtio_net_config` — the device-specific configuration the
+/// paper's §III-A calls out (MAC, MTU, offload capabilities, ...).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VirtioNetConfig {
+    /// Station MAC address.
+    pub mac: [u8; 6],
+    /// Link status (`NET_S_LINK_UP`).
+    pub status: u16,
+    /// Max RX/TX queue pairs supported.
+    pub max_virtqueue_pairs: u16,
+    /// Device MTU.
+    pub mtu: u16,
+}
+
+impl VirtioNetConfig {
+    /// Encoded size of the fields we expose.
+    pub const LEN: usize = 12;
+
+    /// The testbed's default: locally-administered MAC, link up, one
+    /// queue pair, standard Ethernet MTU.
+    pub fn testbed_default() -> Self {
+        VirtioNetConfig {
+            mac: [0x02, 0xFB, 0x0A, 0x00, 0x00, 0x01],
+            status: NET_S_LINK_UP,
+            max_virtqueue_pairs: 1,
+            mtu: 1500,
+        }
+    }
+
+    /// Serialize to the config-space byte layout.
+    pub fn to_bytes(self) -> [u8; Self::LEN] {
+        let mut b = [0u8; Self::LEN];
+        b[0..6].copy_from_slice(&self.mac);
+        b[6..8].copy_from_slice(&self.status.to_le_bytes());
+        b[8..10].copy_from_slice(&self.max_virtqueue_pairs.to_le_bytes());
+        b[10..12].copy_from_slice(&self.mtu.to_le_bytes());
+        b
+    }
+
+    /// MMIO read of `len` bytes at `off` within the device-config window.
+    pub fn read(&self, off: u64, len: usize) -> u64 {
+        let bytes = self.to_bytes();
+        let mut v = 0u64;
+        for i in 0..len.min(8) {
+            let idx = off as usize + i;
+            let byte = if idx < Self::LEN { bytes[idx] } else { 0 };
+            v |= (byte as u64) << (8 * i);
+        }
+        v
+    }
+}
+
+/// The Internet checksum (RFC 1071) used both by the host stack when
+/// checksum offload is off and by the FPGA's checksum engine when it is
+/// on. `initial` allows folding in a pseudo-header sum.
+pub fn internet_checksum(data: &[u8], initial: u32) -> u16 {
+    let mut sum = initial;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        sum += (*last as u32) << 8;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::VecMemory;
+
+    #[test]
+    fn hdr_round_trip() {
+        let h = VirtioNetHdr {
+            flags: HDR_F_NEEDS_CSUM,
+            gso_type: GSO_NONE,
+            hdr_len: 42,
+            gso_size: 0,
+            csum_start: 34,
+            csum_offset: 6,
+            num_buffers: 1,
+        };
+        assert_eq!(VirtioNetHdr::from_bytes(&h.to_bytes()), h);
+    }
+
+    #[test]
+    fn hdr_memory_round_trip() {
+        let mut m = VecMemory::new(64);
+        let h = VirtioNetHdr {
+            num_buffers: 3,
+            ..Default::default()
+        };
+        h.write_to(&mut m, 16);
+        assert_eq!(VirtioNetHdr::read_from(&m, 16), h);
+    }
+
+    #[test]
+    fn hdr_is_twelve_bytes() {
+        assert_eq!(VirtioNetHdr::LEN, 12);
+        assert_eq!(VirtioNetHdr::default().to_bytes().len(), 12);
+    }
+
+    #[test]
+    fn config_layout() {
+        let c = VirtioNetConfig::testbed_default();
+        let b = c.to_bytes();
+        assert_eq!(&b[0..6], &c.mac);
+        assert_eq!(u16::from_le_bytes([b[6], b[7]]), NET_S_LINK_UP);
+        assert_eq!(u16::from_le_bytes([b[10], b[11]]), 1500);
+    }
+
+    #[test]
+    fn config_mmio_reads() {
+        let c = VirtioNetConfig::testbed_default();
+        // MAC first dword.
+        assert_eq!(
+            c.read(0, 4),
+            u32::from_le_bytes([0x02, 0xFB, 0x0A, 0x00]) as u64
+        );
+        // MTU as a u16 read.
+        assert_eq!(c.read(10, 2), 1500);
+        // Reads past the end return zeros.
+        assert_eq!(c.read(12, 4), 0);
+        // Straddling read.
+        assert_eq!(c.read(11, 2) & 0xFF, (1500u16 >> 8) as u64);
+    }
+
+    #[test]
+    fn checksum_known_vector() {
+        // RFC 1071 example: 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2ddf0
+        // → fold → 0xddf2 → complement 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data, 0), 0x220d);
+    }
+
+    #[test]
+    fn checksum_appended_verifies_to_zero() {
+        let data = [0x45, 0x00, 0x00, 0x1d, 0x12, 0x00];
+        let csum = internet_checksum(&data, 0);
+        let mut with = data.to_vec();
+        with.extend_from_slice(&csum.to_be_bytes());
+        assert_eq!(internet_checksum(&with, 0), 0);
+    }
+
+    #[test]
+    fn checksum_odd_length_pads_high_byte() {
+        // A single odd byte contributes as the high byte of a padded word.
+        assert_eq!(
+            internet_checksum(&[0x12], 0),
+            internet_checksum(&[0x12, 0x00], 0)
+        );
+    }
+
+    #[test]
+    fn checksum_zero_data() {
+        assert_eq!(internet_checksum(&[], 0), 0xFFFF);
+    }
+}

@@ -1,0 +1,51 @@
+//! # vf-xdma — Xilinx XDMA IP model
+//!
+//! The vendor side of the paper's comparison: the DMA/Bridge Subsystem
+//! for PCI Express (PG195) as used by the XDMA example design.
+//!
+//! * [`desc`] — the 32-byte scatter-gather descriptor format
+//!   (magic 0xAD4B, control bits, linked list);
+//! * [`engine`] — the H2C and C2H engine state machines, which fetch
+//!   descriptors from host memory per transfer and move payload between
+//!   host DRAM and card memory with PCIe-link + card-port timing;
+//! * [`regs`] — the BAR register file (channel control/status, SGDMA
+//!   descriptor registers, IRQ block) the character-device driver
+//!   programs via MMIO.
+//!
+//! The corresponding host-side character-device driver model lives in
+//! `vf-hostsw`; the example-design wrapper (BRAM behind the AXI-MM
+//! interface) lives in `vf-fpga`.
+//!
+//! ```
+//! use vf_pcie::{HostMemory, LinkConfig, PcieLink};
+//! use vf_sim::Time;
+//! use vf_xdma::{single_descriptor, CardMemory, ChannelDir, VecCardMemory, XdmaEngine};
+//!
+//! // One H2C transfer: descriptor in host memory, engine moves 64 bytes
+//! // into card memory.
+//! let mut link = PcieLink::new(LinkConfig::gen2_x2());
+//! let mut host = HostMemory::new(0, 1 << 20);
+//! let mut card = VecCardMemory::new(4096);
+//! host.write(0x1_0000, &[7u8; 64]);
+//! single_descriptor(0x1_0000, 0x100, 64).write_to(&mut host, 0x2000);
+//! let mut engine = XdmaEngine::new(ChannelDir::H2C);
+//! let out = engine
+//!     .run(Time::ZERO, 0x2000, &mut link, &mut host, &mut card)
+//!     .unwrap();
+//! assert_eq!(out.bytes, 64);
+//! let mut back = [0u8; 64];
+//! card.read(0x100, &mut back);
+//! assert_eq!(back, [7u8; 64]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod desc;
+pub mod engine;
+pub mod regs;
+
+pub use desc::{build_list, single_descriptor, XdmaDesc, CTRL_COMPLETED, CTRL_EOP, CTRL_STOP};
+pub use engine::{
+    CardMemory, ChannelDir, DmaOutcome, EngineError, EngineTiming, VecCardMemory, XdmaEngine,
+};
+pub use regs::{BarAction, ChannelRegs, XdmaBar, VEC_C2H, VEC_H2C, VEC_USER0};

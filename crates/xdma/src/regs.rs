@@ -1,0 +1,398 @@
+//! XDMA register space (PG195 target model).
+//!
+//! The XDMA BAR is divided into fixed 4 KiB "targets":
+//!
+//! ```text
+//! 0x0000  H2C channel 0      0x1000  C2H channel 0
+//! 0x2000  IRQ block          0x3000  config block
+//! 0x4000  H2C SGDMA ch 0     0x5000  C2H SGDMA ch 0
+//! 0x6000  SGDMA common
+//! ```
+//!
+//! The character-device driver programs a transfer by writing the first
+//! descriptor address into the SGDMA target and setting the RUN bit in
+//! the channel's control register — once per `read()`/`write()` call,
+//! which is the per-transfer software overhead the paper attributes to
+//! the vendor design (§IV-A).
+
+/// Target base offsets within the XDMA BAR.
+pub mod target {
+    /// H2C channel 0 registers.
+    pub const H2C: u64 = 0x0000;
+    /// C2H channel 0 registers.
+    pub const C2H: u64 = 0x1000;
+    /// IRQ block.
+    pub const IRQ: u64 = 0x2000;
+    /// Config block.
+    pub const CONFIG: u64 = 0x3000;
+    /// H2C SGDMA (descriptor) registers.
+    pub const H2C_SGDMA: u64 = 0x4000;
+    /// C2H SGDMA (descriptor) registers.
+    pub const C2H_SGDMA: u64 = 0x5000;
+}
+
+/// Register offsets within a channel target.
+pub mod chan {
+    /// Identifier (RO).
+    pub const IDENTIFIER: u64 = 0x00;
+    /// Control: bit 0 = RUN.
+    pub const CONTROL: u64 = 0x04;
+    /// Status (RO): bit 0 = BUSY, bit 1 = DESC_STOPPED.
+    pub const STATUS: u64 = 0x40;
+    /// Status read-and-clear.
+    pub const STATUS_RC: u64 = 0x44;
+    /// Completed descriptor count (RO).
+    pub const COMPLETED: u64 = 0x48;
+    /// Interrupt enable mask: bit 1 = DESC_STOPPED interrupt.
+    pub const INT_ENABLE: u64 = 0x90;
+}
+
+/// Register offsets within an SGDMA target.
+pub mod sgdma {
+    /// First descriptor address, low 32 bits.
+    pub const DESC_LO: u64 = 0x80;
+    /// First descriptor address, high 32 bits.
+    pub const DESC_HI: u64 = 0x84;
+    /// Adjacent descriptor count hint.
+    pub const DESC_ADJ: u64 = 0x88;
+}
+
+/// Register offsets within the IRQ block.
+pub mod irq {
+    /// Channel interrupt enable mask.
+    pub const CHANNEL_INT_EN: u64 = 0x10;
+    /// Channel interrupt request/pending (RO).
+    pub const CHANNEL_INT_PENDING: u64 = 0x44;
+    /// User interrupt enable mask.
+    pub const USER_INT_EN: u64 = 0x04;
+    /// User interrupt request/pending (RO).
+    pub const USER_INT_PENDING: u64 = 0x40;
+}
+
+/// Control register RUN bit.
+pub const CTRL_RUN: u32 = 1;
+/// Status BUSY bit.
+pub const STAT_BUSY: u32 = 1;
+/// Status DESC_STOPPED bit (set when the engine retires a STOP
+/// descriptor).
+pub const STAT_DESC_STOPPED: u32 = 1 << 1;
+/// Interrupt-enable bit for DESC_STOPPED.
+pub const IE_DESC_STOPPED: u32 = 1 << 1;
+
+/// Software-visible state of one channel (control/status/SGDMA).
+#[derive(Clone, Debug, Default)]
+pub struct ChannelRegs {
+    /// RUN bit state.
+    pub run: bool,
+    /// BUSY status.
+    pub busy: bool,
+    /// DESC_STOPPED status.
+    pub stopped: bool,
+    /// Completed descriptor counter.
+    pub completed: u32,
+    /// Interrupt-enable mask.
+    pub int_enable: u32,
+    /// First-descriptor address (SGDMA target).
+    pub desc_addr: u64,
+    /// Adjacent-descriptor hint.
+    pub desc_adj: u32,
+}
+
+impl ChannelRegs {
+    fn status_bits(&self) -> u32 {
+        (self.busy as u32 * STAT_BUSY) | (self.stopped as u32 * STAT_DESC_STOPPED)
+    }
+}
+
+/// MSI-X vector assignments used by the reference driver: channel
+/// interrupts first (H2C = 0, C2H = 1), user interrupts after.
+pub const VEC_H2C: usize = 0;
+/// C2H channel interrupt vector.
+pub const VEC_C2H: usize = 1;
+/// First user-interrupt vector.
+pub const VEC_USER0: usize = 2;
+
+/// Action the device model must take after a register write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BarAction {
+    /// Start the H2C engine at its programmed descriptor address.
+    StartH2C,
+    /// Start the C2H engine.
+    StartC2H,
+}
+
+/// The XDMA BAR register file (both channels + IRQ block).
+#[derive(Clone, Debug)]
+pub struct XdmaBar {
+    /// H2C channel registers.
+    pub h2c: ChannelRegs,
+    /// C2H channel registers.
+    pub c2h: ChannelRegs,
+    /// Channel interrupt enable mask (IRQ block).
+    pub channel_int_en: u32,
+    /// User interrupt enable mask (IRQ block).
+    pub user_int_en: u32,
+    /// Channel interrupt pending bits.
+    pub channel_pending: u32,
+    /// User interrupt pending bits.
+    pub user_pending: u32,
+}
+
+impl XdmaBar {
+    /// Reset-state register file.
+    pub fn new() -> Self {
+        XdmaBar {
+            h2c: ChannelRegs::default(),
+            c2h: ChannelRegs::default(),
+            channel_int_en: 0,
+            user_int_en: 0,
+            channel_pending: 0,
+            user_pending: 0,
+        }
+    }
+
+    /// 32-bit register read at BAR offset `off`.
+    pub fn read32(&mut self, off: u64) -> u32 {
+        let (tgt, reg) = (off & !0xFFF, off & 0xFFF);
+        match tgt {
+            target::H2C | target::C2H => {
+                let ch = if tgt == target::H2C {
+                    &mut self.h2c
+                } else {
+                    &mut self.c2h
+                };
+                match reg {
+                    chan::IDENTIFIER => {
+                        // 0x1FC?_??06: subsystem 0x1fc, target id, version.
+                        let id = if tgt == target::H2C { 0 } else { 1 };
+                        0x1FC0_0006 | (id << 16)
+                    }
+                    chan::CONTROL => ch.run as u32,
+                    chan::STATUS => ch.status_bits(),
+                    chan::STATUS_RC => {
+                        let bits = ch.status_bits();
+                        ch.stopped = false;
+                        bits
+                    }
+                    chan::COMPLETED => ch.completed,
+                    chan::INT_ENABLE => ch.int_enable,
+                    _ => 0,
+                }
+            }
+            target::IRQ => match reg {
+                irq::CHANNEL_INT_EN => self.channel_int_en,
+                irq::USER_INT_EN => self.user_int_en,
+                irq::CHANNEL_INT_PENDING => self.channel_pending,
+                irq::USER_INT_PENDING => self.user_pending,
+                _ => 0,
+            },
+            target::CONFIG => match reg {
+                0x00 => 0x1FC3_0006, // config block identifier
+                _ => 0,
+            },
+            target::H2C_SGDMA | target::C2H_SGDMA => {
+                let ch = if tgt == target::H2C_SGDMA {
+                    &self.h2c
+                } else {
+                    &self.c2h
+                };
+                match reg {
+                    sgdma::DESC_LO => ch.desc_addr as u32,
+                    sgdma::DESC_HI => (ch.desc_addr >> 32) as u32,
+                    sgdma::DESC_ADJ => ch.desc_adj,
+                    _ => 0,
+                }
+            }
+            _ => 0,
+        }
+    }
+
+    /// 32-bit register write at BAR offset `off`; may demand an action.
+    pub fn write32(&mut self, off: u64, val: u32) -> Option<BarAction> {
+        let (tgt, reg) = (off & !0xFFF, off & 0xFFF);
+        match tgt {
+            target::H2C | target::C2H => {
+                let is_h2c = tgt == target::H2C;
+                let ch = if is_h2c { &mut self.h2c } else { &mut self.c2h };
+                match reg {
+                    chan::CONTROL => {
+                        let was = ch.run;
+                        ch.run = val & CTRL_RUN != 0;
+                        if ch.run && !was {
+                            ch.busy = true;
+                            ch.stopped = false;
+                            return Some(if is_h2c {
+                                BarAction::StartH2C
+                            } else {
+                                BarAction::StartC2H
+                            });
+                        }
+                    }
+                    chan::STATUS
+                        // Write-1-to-clear.
+                        if val & STAT_DESC_STOPPED != 0 => {
+                            ch.stopped = false;
+                        }
+                    chan::INT_ENABLE => ch.int_enable = val,
+                    _ => {}
+                }
+            }
+            target::IRQ => match reg {
+                irq::CHANNEL_INT_EN => self.channel_int_en = val,
+                irq::USER_INT_EN => self.user_int_en = val,
+                _ => {}
+            },
+            target::H2C_SGDMA | target::C2H_SGDMA => {
+                let ch = if tgt == target::H2C_SGDMA {
+                    &mut self.h2c
+                } else {
+                    &mut self.c2h
+                };
+                match reg {
+                    sgdma::DESC_LO => {
+                        ch.desc_addr = (ch.desc_addr & !0xFFFF_FFFF) | val as u64;
+                    }
+                    sgdma::DESC_HI => {
+                        ch.desc_addr = (ch.desc_addr & 0xFFFF_FFFF) | ((val as u64) << 32);
+                    }
+                    sgdma::DESC_ADJ => ch.desc_adj = val,
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        None
+    }
+
+    /// Engine-side completion: update channel status and decide whether
+    /// the channel interrupt fires (enabled in both the channel mask and
+    /// the IRQ block). Returns the MSI-X vector to raise, if any.
+    pub fn complete_channel(
+        &mut self,
+        dir: crate::engine::ChannelDir,
+        descriptors: u32,
+    ) -> Option<usize> {
+        use crate::engine::ChannelDir;
+        let (ch, bit, vec) = match dir {
+            ChannelDir::H2C => (&mut self.h2c, 1u32 << 0, VEC_H2C),
+            ChannelDir::C2H => (&mut self.c2h, 1u32 << 1, VEC_C2H),
+        };
+        ch.busy = false;
+        ch.run = false;
+        ch.stopped = true;
+        ch.completed = ch.completed.wrapping_add(descriptors);
+        let channel_armed = ch.int_enable & IE_DESC_STOPPED != 0;
+        let block_armed = self.channel_int_en & bit != 0;
+        if channel_armed && block_armed {
+            self.channel_pending |= bit;
+            Some(vec)
+        } else {
+            None
+        }
+    }
+
+    /// Host acknowledges a channel interrupt (clears the pending bit).
+    pub fn ack_channel(&mut self, dir: crate::engine::ChannelDir) {
+        use crate::engine::ChannelDir;
+        let bit = match dir {
+            ChannelDir::H2C => 1u32 << 0,
+            ChannelDir::C2H => 1u32 << 1,
+        };
+        self.channel_pending &= !bit;
+    }
+
+    /// User logic raises user interrupt `n`. Returns the MSI-X vector if
+    /// enabled.
+    pub fn raise_user_irq(&mut self, n: u32) -> Option<usize> {
+        if self.user_int_en & (1 << n) != 0 {
+            self.user_pending |= 1 << n;
+            Some(VEC_USER0 + n as usize)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for XdmaBar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ChannelDir;
+
+    #[test]
+    fn identifiers_distinguish_channels() {
+        let mut bar = XdmaBar::new();
+        let h2c = bar.read32(target::H2C + chan::IDENTIFIER);
+        let c2h = bar.read32(target::C2H + chan::IDENTIFIER);
+        assert_eq!(h2c >> 20, 0x1FC);
+        assert_eq!((h2c >> 16) & 0xF, 0);
+        assert_eq!((c2h >> 16) & 0xF, 1);
+    }
+
+    #[test]
+    fn programming_sequence_starts_engine() {
+        let mut bar = XdmaBar::new();
+        bar.write32(target::H2C_SGDMA + sgdma::DESC_LO, 0x0012_3000);
+        bar.write32(target::H2C_SGDMA + sgdma::DESC_HI, 0);
+        assert_eq!(bar.h2c.desc_addr, 0x12_3000);
+        let action = bar.write32(target::H2C + chan::CONTROL, CTRL_RUN);
+        assert_eq!(action, Some(BarAction::StartH2C));
+        assert!(bar.h2c.busy);
+        // Writing RUN again while already running is a no-op.
+        assert_eq!(bar.write32(target::H2C + chan::CONTROL, CTRL_RUN), None);
+    }
+
+    #[test]
+    fn completion_updates_status_and_fires_when_armed() {
+        let mut bar = XdmaBar::new();
+        bar.write32(target::C2H + chan::INT_ENABLE, IE_DESC_STOPPED);
+        bar.write32(target::IRQ + irq::CHANNEL_INT_EN, 0b10);
+        bar.write32(target::C2H + chan::CONTROL, CTRL_RUN);
+        let vec = bar.complete_channel(ChannelDir::C2H, 3);
+        assert_eq!(vec, Some(VEC_C2H));
+        assert!(!bar.c2h.busy && bar.c2h.stopped);
+        assert_eq!(bar.read32(target::C2H + chan::COMPLETED), 3);
+        assert_eq!(bar.read32(target::IRQ + irq::CHANNEL_INT_PENDING), 0b10);
+        bar.ack_channel(ChannelDir::C2H);
+        assert_eq!(bar.read32(target::IRQ + irq::CHANNEL_INT_PENDING), 0);
+    }
+
+    #[test]
+    fn completion_silent_when_not_armed() {
+        let mut bar = XdmaBar::new();
+        bar.write32(target::H2C + chan::CONTROL, CTRL_RUN);
+        assert_eq!(bar.complete_channel(ChannelDir::H2C, 1), None);
+        assert!(bar.h2c.stopped);
+    }
+
+    #[test]
+    fn status_rc_clears_stopped() {
+        let mut bar = XdmaBar::new();
+        bar.write32(target::H2C + chan::CONTROL, CTRL_RUN);
+        bar.complete_channel(ChannelDir::H2C, 1);
+        let st = bar.read32(target::H2C + chan::STATUS_RC);
+        assert!(st & STAT_DESC_STOPPED != 0);
+        assert_eq!(bar.read32(target::H2C + chan::STATUS), 0);
+    }
+
+    #[test]
+    fn user_irqs_gated_by_enable() {
+        let mut bar = XdmaBar::new();
+        assert_eq!(bar.raise_user_irq(0), None);
+        bar.write32(target::IRQ + irq::USER_INT_EN, 0b1);
+        assert_eq!(bar.raise_user_irq(0), Some(VEC_USER0));
+        assert_eq!(bar.read32(target::IRQ + irq::USER_INT_PENDING), 1);
+    }
+
+    #[test]
+    fn unknown_offsets_read_zero() {
+        let mut bar = XdmaBar::new();
+        assert_eq!(bar.read32(0x7000), 0);
+        assert_eq!(bar.read32(target::H2C + 0x200), 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! The packed-virtqueue extension (VirtIO 1.2 §2.8): the same
+//! request-response exchange as the split ring, with the structural
+//! DMA-operation comparison that motivates a packed-ring revision of the
+//! paper's FPGA controller.
+//!
+//! ```sh
+//! cargo run --release --example packed_ring
+//! ```
+
+use vf_pcie::{LinkConfig, PcieLink};
+use vf_sim::Time;
+use vf_virtio::packed::{dma_ops_per_transfer, PackedBuffer, PackedDeviceQueue, PackedDriverQueue};
+use vf_virtio::{GuestMemory, VecMemory};
+
+fn main() {
+    let mut mem = VecMemory::new(1 << 20);
+    let mut drv = PackedDriverQueue::new(0x1000, 64);
+    let mut dev = PackedDeviceQueue::new(0x1000, 64);
+
+    // Push 1000 request/response chains through the packed ring.
+    let mut served = 0u32;
+    for i in 0..1000u64 {
+        let req = 0x10_000 + (i % 32) * 512;
+        let resp = req + 256;
+        mem.write(req, &i.to_le_bytes());
+        let id = drv
+            .add(
+                &mut mem,
+                &[
+                    PackedBuffer {
+                        addr: req,
+                        len: 8,
+                        writable: false,
+                    },
+                    PackedBuffer {
+                        addr: resp,
+                        len: 8,
+                        writable: true,
+                    },
+                ],
+            )
+            .expect("ring has room");
+        let chain = dev.try_take(&mem).expect("chain visible");
+        assert_eq!(chain.id, id);
+        // Device echoes the request into the response buffer.
+        let data = mem.read_vec(chain.bufs[0].0, 8);
+        mem.write(chain.bufs[1].0, &data);
+        dev.complete(&mut mem, &chain, 8);
+        let used = drv.pop_used(&mem).expect("completion visible");
+        assert_eq!(used.len, 8);
+        assert_eq!(mem.read_vec(resp, 8), i.to_le_bytes());
+        served += 1;
+    }
+    println!("packed ring: {served} chains served, all verified\n");
+
+    // The structural argument: device DMA round trips per transfer.
+    println!("device DMA operations per 2-descriptor transfer (reads, writes):");
+    let (sr, sw) = dma_ops_per_transfer(2, false);
+    let (pr, pw) = dma_ops_per_transfer(2, true);
+    println!("  split ring : {sr} reads, {sw} writes");
+    println!("  packed ring: {pr} reads, {pw} writes");
+
+    // Priced at this testbed's link: what a packed controller would save.
+    let mut link = PcieLink::new(LinkConfig::gen2_x2());
+    let read_rtt = link.dma_read(Time::ZERO, 0, 16) - Time::ZERO;
+    let saved_reads = (sr - pr) as u64;
+    println!(
+        "\nat {read_rtt} per descriptor-sized device read, a packed-ring\n\
+         controller saves ≈ {} of FPGA-side latency per transfer — a concrete\n\
+         prediction for the framework's next revision (cf. Fig. 4's hardware\n\
+         share).",
+        read_rtt * saved_reads
+    );
+}

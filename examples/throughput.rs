@@ -1,0 +1,43 @@
+//! Pipelined throughput: keep a window of requests in flight and watch
+//! VirtIO's notification suppression (EVENT_IDX) coalesce doorbells and
+//! interrupts — the regime the paper's request-response experiment never
+//! enters, and the one where the XDMA character device (one blocking
+//! `write()`/`read()` pair per transfer) cannot compete.
+//!
+//! ```sh
+//! cargo run --release --example throughput
+//! ```
+
+use virtio_fpga::pipeline::{run_pipelined, xdma_serial_pps};
+use virtio_fpga::{DriverKind, TestbedConfig};
+
+fn main() {
+    let packets = 10_000;
+    let cfg = TestbedConfig::paper(DriverKind::Virtio, 256, packets, 42);
+    let xdma_pps = xdma_serial_pps(&TestbedConfig::paper(DriverKind::Xdma, 256, 3_000, 42));
+
+    println!("pipelined UDP echo, 256 B payload, {packets} packets per depth\n");
+    println!(
+        "{:>6} {:>12} {:>13} {:>15} {:>10}",
+        "depth", "VirtIO pps", "latency(us)", "doorbells/pkt", "irqs/pkt"
+    );
+    for depth in [1usize, 2, 4, 8, 16, 32, 64] {
+        let r = run_pipelined(&cfg, depth);
+        assert_eq!(r.verify_failures, 0);
+        println!(
+            "{:>6} {:>12.0} {:>13.1} {:>15.3} {:>10.3}",
+            r.depth,
+            r.pps,
+            r.latency.mean(),
+            r.doorbells_per_packet(),
+            r.irqs_per_packet()
+        );
+    }
+    println!("\nXDMA character device (inherently serial): {xdma_pps:.0} pps at any depth.");
+    println!(
+        "Doorbells and interrupts fall as 1/depth: the driver publishes into a\n\
+         busy ring without kicking, and the device completes batches under one\n\
+         interrupt — VirtIO's EVENT_IDX machinery doing exactly what the spec\n\
+         designed it to do."
+    );
+}

@@ -1,0 +1,43 @@
+//! VirtIO console device — the device type of the prior work \[14\] this
+//! paper extends. The same FPGA framework serves a completely different
+//! host subsystem (hvc/tty instead of the network stack): only the
+//! device-specific config structure and the per-buffer header handling
+//! change, which is the portability argument of the paper's §IV-B.
+//!
+//! ```sh
+//! cargo run --release --example virtio_console
+//! ```
+
+use vf_virtio::DeviceType;
+use virtio_fpga::{DriverKind, Testbed, TestbedConfig};
+
+fn main() {
+    let packets = 3_000;
+    println!("console echo through the FPGA VirtIO framework ({packets} writes)\n");
+    println!(
+        "{:<15} {:>8} {:>9} {:>8} {:>8}",
+        "device", "payload", "mean(us)", "p95", "p99"
+    );
+    for payload in [16usize, 64, 256] {
+        for device_type in [DeviceType::Console, DeviceType::Net] {
+            let mut cfg = TestbedConfig::paper(DriverKind::Virtio, payload, packets, 7);
+            cfg.options.device_type = device_type;
+            let mut r = Testbed::new(cfg).run();
+            assert_eq!(r.verify_failures, 0);
+            let s = r.total_summary();
+            println!(
+                "{:<15} {:>7}B {:>9.1} {:>8.1} {:>8.1}",
+                device_type.name(),
+                payload,
+                s.mean_us,
+                s.p95_us,
+                s.p99_us
+            );
+        }
+    }
+    println!(
+        "\nThe console path is faster: no UDP/IP encapsulation (42 bytes saved\n\
+         per direction), no checksum work, and a much shallower host stack —\n\
+         while the FPGA-side framework is byte-for-byte the same controller."
+    );
+}

@@ -1,0 +1,1 @@
+//! Root test/example package for the virtio-fpga workspace.

@@ -1,0 +1,161 @@
+//! End-to-end integration tests: the complete testbed, both driver
+//! stacks, from socket/syscall down to TLPs and back.
+
+use virtio_fpga::{Calibration, DriverKind, Testbed, TestbedConfig, TestbedOptions};
+
+fn run(driver: DriverKind, payload: usize, packets: usize, seed: u64) -> virtio_fpga::RunResult {
+    Testbed::new(TestbedConfig::paper(driver, payload, packets, seed)).run()
+}
+
+#[test]
+fn virtio_round_trips_verify() {
+    let r = run(DriverKind::Virtio, 256, 1_000, 1);
+    assert_eq!(r.verify_failures, 0);
+    assert_eq!(r.total.len(), 1_000);
+    // Request-response: exactly one doorbell and one RX interrupt per
+    // packet.
+    assert_eq!(r.notifications, 1_000);
+    assert_eq!(r.irqs, 1_000);
+}
+
+#[test]
+fn xdma_round_trips_verify() {
+    let r = run(DriverKind::Xdma, 256, 1_000, 2);
+    assert_eq!(r.verify_failures, 0);
+    assert_eq!(r.total.len(), 1_000);
+    // Two transfers (H2C + C2H) per packet, each with one completion
+    // interrupt.
+    assert_eq!(r.notifications, 2_000);
+    assert_eq!(r.irqs, 2_000);
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    let mut a = run(DriverKind::Virtio, 128, 400, 77);
+    let mut b = run(DriverKind::Virtio, 128, 400, 77);
+    assert_eq!(a.total.raw(), b.total.raw());
+    assert_eq!(a.hw.raw(), b.hw.raw());
+    let (sa, sb) = (a.total_summary(), b.total_summary());
+    assert_eq!(sa, sb);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(DriverKind::Virtio, 128, 400, 1);
+    let b = run(DriverKind::Virtio, 128, 400, 2);
+    assert_ne!(a.total.raw(), b.total.raw());
+}
+
+#[test]
+fn components_sum_to_total() {
+    for driver in [DriverKind::Virtio, DriverKind::Xdma] {
+        let mut r = run(driver, 512, 500, 5);
+        let total = r.total_summary().mean_us;
+        let parts = r.hw_summary().mean_us + r.sw_summary().mean_us + r.proc_summary().mean_us;
+        assert!(
+            (total - parts).abs() < 0.01,
+            "{}: total {total} vs parts {parts}",
+            driver.name()
+        );
+    }
+}
+
+#[test]
+fn hardware_time_has_minimal_variance() {
+    // §V: "the time taken by the hardware to perform the DMA operations
+    // has minimal variance."
+    for driver in [DriverKind::Virtio, DriverKind::Xdma] {
+        let mut r = run(driver, 256, 1_000, 9);
+        let hw = r.hw_summary();
+        let total = r.total_summary();
+        assert!(
+            hw.std_us < total.std_us / 4.0,
+            "{}: hw σ {} vs total σ {}",
+            driver.name(),
+            hw.std_us,
+            total.std_us
+        );
+    }
+}
+
+#[test]
+fn noiseless_run_is_tight() {
+    let mut cfg = TestbedConfig::paper(DriverKind::Virtio, 64, 300, 3);
+    cfg.calibration = Calibration::noiseless();
+    let mut r = Testbed::new(cfg).run();
+    let s = r.total_summary();
+    // Only deterministic alignment effects remain.
+    assert!(s.std_us < 2.0, "σ = {}", s.std_us);
+    assert_eq!(r.verify_failures, 0);
+}
+
+#[test]
+fn event_idx_off_still_works() {
+    let mut cfg = TestbedConfig::paper(DriverKind::Virtio, 128, 500, 4);
+    cfg.options = TestbedOptions {
+        event_idx: false,
+        ..TestbedOptions::default()
+    };
+    let r = Testbed::new(cfg).run();
+    assert_eq!(r.verify_failures, 0);
+    assert_eq!(r.irqs, 500);
+}
+
+#[test]
+fn csum_offload_end_to_end() {
+    let mut cfg = TestbedConfig::paper(DriverKind::Virtio, 512, 500, 6);
+    cfg.options.csum_offload = true;
+    let r = Testbed::new(cfg).run();
+    // Offloaded checksums verify on echo: zero failures.
+    assert_eq!(r.verify_failures, 0);
+}
+
+#[test]
+fn xdma_device_irq_option_end_to_end() {
+    let mut cfg = TestbedConfig::paper(DriverKind::Xdma, 256, 400, 8);
+    cfg.options.xdma_wait_device_irq = true;
+    let mut with = Testbed::new(cfg).run();
+    let mut without = run(DriverKind::Xdma, 256, 400, 8);
+    assert_eq!(with.verify_failures, 0);
+    assert!(
+        with.total_summary().mean_us > without.total_summary().mean_us,
+        "waiting for the data-ready interrupt must cost latency"
+    );
+    // The E6 run takes one extra interrupt per packet (the user IRQ).
+    assert_eq!(with.irqs, 3 * 400);
+}
+
+#[test]
+fn small_queue_sizes_work() {
+    for qs in [4u16, 16, 64] {
+        let mut cfg = TestbedConfig::paper(DriverKind::Virtio, 64, 200, 10);
+        cfg.options.queue_size = qs;
+        let r = Testbed::new(cfg).run();
+        assert_eq!(r.verify_failures, 0, "queue size {qs}");
+    }
+}
+
+#[test]
+fn payload_extremes() {
+    // 1-byte payload and a 1400-byte (near-MTU) payload both survive the
+    // full stack.
+    for payload in [1usize, 1400] {
+        for driver in [DriverKind::Virtio, DriverKind::Xdma] {
+            let r = run(driver, payload, 100, 11);
+            assert_eq!(r.verify_failures, 0, "{} at {payload}B", driver.name());
+        }
+    }
+}
+
+#[test]
+fn latency_grows_with_payload() {
+    for driver in [DriverKind::Virtio, DriverKind::Xdma] {
+        let mut small = run(driver, 64, 600, 12);
+        let mut large = run(driver, 1024, 600, 12);
+        assert!(
+            large.total_summary().mean_us > small.total_summary().mean_us + 10.0,
+            "{}: payload slope missing",
+            driver.name()
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Property test over the whole testbed: any sane configuration must
+//! complete with verified data, conserved packets, and physically
+//! plausible latencies. This is the repository's end-to-end fuzzer —
+//! ring sizes, payloads, feature combinations, memory backings, and both
+//! drivers, in random combination.
+
+use proptest::prelude::*;
+use virtio_fpga::testbed::CardKind;
+use virtio_fpga::{DriverKind, Testbed, TestbedConfig};
+
+proptest! {
+    // Each case is a full simulation; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_configuration_round_trips(
+        driver_is_virtio in any::<bool>(),
+        payload in 1usize..1400,
+        queue_pow in 2u32..9, // 4..256
+        event_idx in any::<bool>(),
+        csum in any::<bool>(),
+        ddr in any::<bool>(),
+        wait_irq in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let driver = if driver_is_virtio {
+            DriverKind::Virtio
+        } else {
+            DriverKind::Xdma
+        };
+        let packets = 60;
+        let mut cfg = TestbedConfig::paper(driver, payload, packets, seed);
+        cfg.options.queue_size = 1u16 << queue_pow;
+        cfg.options.event_idx = event_idx;
+        cfg.options.csum_offload = csum;
+        cfg.options.card_memory = if ddr { CardKind::Ddr } else { CardKind::Bram };
+        cfg.options.xdma_wait_device_irq = wait_irq;
+        let mut r = Testbed::new(cfg).run();
+
+        // Functional invariants.
+        prop_assert_eq!(r.verify_failures, 0);
+        prop_assert_eq!(r.total.len(), packets);
+
+        // Physical plausibility: round trips land in tens of µs to a few
+        // hundred µs, never sub-µs or multi-ms.
+        let s = r.total_summary();
+        prop_assert!(s.min_us > 5.0, "implausibly fast: {} µs", s.min_us);
+        prop_assert!(s.max_us < 2_000.0, "implausibly slow: {} µs", s.max_us);
+
+        // Accounting: components never exceed the total.
+        let hw = r.hw_summary();
+        prop_assert!(hw.mean_us < s.mean_us);
+        prop_assert!(hw.max_us <= s.max_us);
+
+        // Event accounting: a request-response run produces at least one
+        // device interrupt per packet and no more than three (H2C + C2H +
+        // optional data-ready).
+        prop_assert!(r.irqs >= packets as u64);
+        prop_assert!(r.irqs <= 3 * packets as u64);
+    }
+}
