@@ -15,6 +15,8 @@
 //!   pipeline                       E12 pipelined throughput
 //!   deployment                     E13 Fig. 1 deployment models
 //!   card-memory                    E14 BRAM vs external DDR
+//!   pmd                            E15 vf-pmd poll-mode driver vs kernel drivers
+//!   pmd-crossover                  E16 poll-vs-interrupt crossover vs offered load
 //!   all                            everything above
 //! ```
 //!
@@ -77,6 +79,8 @@ fn main() {
             "pipeline",
             "deployment",
             "card-memory",
+            "pmd",
+            "pmd-crossover",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -171,6 +175,15 @@ fn main() {
             "card-memory" => {
                 println!("{}", render_card_memory(&experiments::card_memory(params)));
             }
+            "pmd" => {
+                println!("{}", render_pmd(&experiments::pmd_tails(params)));
+            }
+            "pmd-crossover" => {
+                println!(
+                    "{}",
+                    render_pmd_crossover(&experiments::pmd_crossover(params))
+                );
+            }
             other => {
                 eprintln!("unknown artifact: {other}");
                 print_usage();
@@ -241,6 +254,6 @@ fn print_usage() {
         "usage: repro [--packets N] [--seed S] [--quick] [--csv DIR] <artifact>...\n\
          artifacts: fig3 fig4 fig5 table1 portability xdma-irq-ablation\n\
          \u{20}          virtio-features bypass devtypes csum-offload noise-sweep\n\
-         \u{20}          pipeline deployment card-memory all"
+         \u{20}          pipeline deployment card-memory pmd pmd-crossover all"
     );
 }

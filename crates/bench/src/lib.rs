@@ -6,8 +6,8 @@
 #![warn(missing_docs)]
 
 use virtio_fpga::experiments::{
-    BreakdownRow, BypassRow, CsumRow, DeviceTypeRow, Fig3Row, NoiseRow, PortabilityRow, Table1Row,
-    VirtioFeatureRow, XdmaIrqRow,
+    BreakdownRow, BypassRow, CsumRow, DeviceTypeRow, Fig3Row, NoiseRow, PmdCrossoverRow,
+    PmdTailsRow, PortabilityRow, Table1Row, VirtioFeatureRow, XdmaIrqRow,
 };
 use virtio_fpga::{render_breakdown, render_table1, DriverKind};
 
@@ -228,6 +228,57 @@ pub fn render_card_memory(rows: &[virtio_fpga::experiments::CardMemRow]) -> Stri
     out
 }
 
+/// Render the E15 three-way tail comparison (kernel VirtIO vs the
+/// `vf-pmd` poll-mode driver vs XDMA).
+pub fn render_pmd(rows: &[PmdTailsRow]) -> String {
+    let mut out = String::from(
+        "E15 — Poll-mode driver vs kernel drivers (us)\npayload | driver      mean    sd    med    p95    p99  p99.9 | p99-med\n--------+------------------------------------------------------+--------\n",
+    );
+    for r in rows {
+        for (name, s) in [
+            ("VirtIO", &r.virtio),
+            ("VirtIO-PMD", &r.pmd),
+            ("XDMA", &r.xdma),
+        ] {
+            out.push_str(&format!(
+                "{:>6}B | {:<10}{:>6.1}{:>6.1}{:>7.1}{:>7.1}{:>7.1}{:>7.1} | {:>6.1}\n",
+                r.payload,
+                name,
+                s.mean_us,
+                s.std_us,
+                s.median_us,
+                s.p95_us,
+                s.p99_us,
+                s.p999_us,
+                s.p99_us - s.median_us
+            ));
+        }
+    }
+    out
+}
+
+/// Render the E16 poll-vs-interrupt crossover.
+pub fn render_pmd_crossover(rows: &[PmdCrossoverRow]) -> String {
+    let mut out = String::from(
+        "E16 — Poll-vs-interrupt crossover (256 B payload)\nload(pps) | busy mean(us) cpu(us/pkt) kcyc | adaptive mean(us) cpu(us/pkt) fallbacks | kernel mean(us) cpu(us/pkt)\n----------+--------------------------------+-----------------------------------------+----------------------------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>9} | {:>13.1} {:>11.1} {:>4.0} | {:>17.1} {:>11.1} {:>9} | {:>15.1} {:>11.1}\n",
+            r.load_pps,
+            r.busy.mean_us,
+            r.busy_cpu_us,
+            r.busy_kcycles,
+            r.adaptive.mean_us,
+            r.adaptive_cpu_us,
+            r.adaptive_fallbacks,
+            r.kernel.mean_us,
+            r.kernel_cpu_us
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +300,21 @@ mod tests {
         let t1 = render_tails(&experiments::table1(&mut m));
         assert!(t1.contains("99.9%"));
         assert_eq!(t1.lines().count(), 8);
+    }
+
+    #[test]
+    fn pmd_renders() {
+        let params = ExperimentParams {
+            packets: 150,
+            seed: 23,
+            threads: 8,
+        };
+        let s = render_pmd(&experiments::pmd_tails(params));
+        assert!(s.contains("VirtIO-PMD"));
+        assert_eq!(s.lines().count(), 3 + 15); // title + 2 header + 5×3 rows
+        let c = render_pmd_crossover(&experiments::pmd_crossover(params));
+        assert!(c.contains("40000"));
+        assert_eq!(c.lines().count(), 3 + 5);
     }
 
     #[test]

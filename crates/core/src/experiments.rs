@@ -13,6 +13,8 @@
 //! | [`device_types`] | E9 — console (prior work \[14\]) vs net device |
 //! | [`csum_offload`] | E10 — checksum offload on/off |
 //! | [`noise_sweep`] | E11 — host-noise sensitivity |
+//! | [`pmd_tails`] | E15 — Fig. 3/Table I re-run with the `vf-pmd` poll-mode driver as a third series |
+//! | [`pmd_crossover`] | E16 — poll-vs-interrupt crossover: RTT and host CPU/packet vs offered load |
 //!
 //! Runs within a sweep are independent simulations and execute in
 //! parallel ([`vf_sim::parallel_map`]), one thread per configuration.
@@ -719,6 +721,148 @@ pub fn card_memory(params: ExperimentParams) -> Vec<CardMemRow> {
         .collect()
 }
 
+/// One payload row of the E15 three-way tail comparison.
+pub struct PmdTailsRow {
+    /// Payload size (bytes).
+    pub payload: usize,
+    /// In-kernel VirtIO driver round-trip summary.
+    pub virtio: Summary,
+    /// Userspace poll-mode driver round-trip summary.
+    pub pmd: Summary,
+    /// XDMA character-device driver round-trip summary.
+    pub xdma: Summary,
+    /// PMD doorbells per packet (stays at 1 in the serial echo).
+    pub pmd_doorbells_per_packet: f64,
+}
+
+/// E15: the paper's Fig. 3 / Table I measurement with the poll-mode
+/// driver added as a third series. The PMD keeps the VirtIO data path
+/// (same rings, same device) but strips the host software events the
+/// paper identifies as the latency floor — the mean drops by the
+/// syscall/IRQ/wakeup budget and the tail thins because the poll path
+/// never takes the blocking-noise draw.
+pub fn pmd_tails(params: ExperimentParams) -> Vec<PmdTailsRow> {
+    let mut configs = Vec::new();
+    for (i, &payload) in PAPER_PAYLOADS.iter().enumerate() {
+        let seed = params.seed.wrapping_mul(1000).wrapping_add(i as u64);
+        for driver in [DriverKind::Virtio, DriverKind::VirtioPmd, DriverKind::Xdma] {
+            configs.push(TestbedConfig::paper(driver, payload, params.packets, seed));
+        }
+    }
+    let results = parallel_map(configs, params.threads, |cfg| {
+        Testbed::new(cfg.clone()).run()
+    });
+    PAPER_PAYLOADS
+        .iter()
+        .zip(results.chunks(3))
+        .map(|(&payload, trio)| {
+            let mut v = SampleSet::from_us(trio[0].total.raw().to_vec());
+            let mut p = SampleSet::from_us(trio[1].total.raw().to_vec());
+            let mut x = SampleSet::from_us(trio[2].total.raw().to_vec());
+            PmdTailsRow {
+                payload,
+                virtio: v.summary(),
+                pmd: p.summary(),
+                xdma: x.summary(),
+                pmd_doorbells_per_packet: trio[1].notifications as f64
+                    / trio[1].packets.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// One offered-load row of the E16 crossover.
+pub struct PmdCrossoverRow {
+    /// Offered load (packets per second).
+    pub load_pps: u64,
+    /// Inter-send interval (µs).
+    pub interval_us: f64,
+    /// Busy-poll PMD round-trip summary.
+    pub busy: Summary,
+    /// Busy-poll host CPU per packet (µs) — includes the spin.
+    pub busy_cpu_us: f64,
+    /// Busy-poll host CPU per packet (kilocycles).
+    pub busy_kcycles: f64,
+    /// Adaptive (poll→interrupt fallback) PMD round-trip summary.
+    pub adaptive: Summary,
+    /// Adaptive host CPU per packet (µs).
+    pub adaptive_cpu_us: f64,
+    /// Adaptive fallbacks taken (interrupts after the poll threshold).
+    pub adaptive_fallbacks: u64,
+    /// In-kernel VirtIO driver summary (load-independent baseline: the
+    /// blocking design serializes one RTT at a time regardless of pace).
+    pub kernel: Summary,
+    /// Kernel host CPU per packet proxy (µs): the software component of
+    /// the RTT, which is CPU-resident time on this single-flow host.
+    pub kernel_cpu_us: f64,
+}
+
+/// The adaptive variant's poll budget before arming the interrupt.
+pub const PMD_ADAPTIVE_IDLE: Time = Time::from_us(5);
+
+/// E16: the poll-vs-interrupt crossover. Sweep offered load and measure
+/// mean RTT and host CPU cycles per packet for (a) the pure busy-poll
+/// PMD, (b) the adaptive PMD that arms the RX interrupt after
+/// [`PMD_ADAPTIVE_IDLE`] of empty polling, and (c) the in-kernel
+/// interrupt-driven driver. At low load the busy poller burns an entire
+/// inter-send interval of CPU per packet; as load rises the burn
+/// amortizes toward the latency win, which is the operating regime DPDK
+/// argues from.
+pub fn pmd_crossover(params: ExperimentParams) -> Vec<PmdCrossoverRow> {
+    const LOADS_PPS: [u64; 5] = [2_000, 5_000, 10_000, 20_000, 40_000];
+
+    // Kernel baseline: the blocking driver's serial RTT is pace-
+    // independent, so one unpaced run serves every load row.
+    let mut kernel = Testbed::new(TestbedConfig::paper(
+        DriverKind::Virtio,
+        256,
+        params.packets,
+        params.seed,
+    ))
+    .run();
+    let kernel_summary = kernel.total_summary();
+    let kernel_cpu_us = kernel.sw_summary().mean_us;
+
+    let mut configs = Vec::new();
+    for (i, &pps) in LOADS_PPS.iter().enumerate() {
+        let interval = Time::from_ns(1_000_000_000 / pps);
+        for adaptive in [false, true] {
+            let mut cfg = TestbedConfig::paper(
+                DriverKind::VirtioPmd,
+                256,
+                params.packets,
+                params.seed.wrapping_add(i as u64 * 17),
+            );
+            cfg.options.pmd_send_interval = Some(interval);
+            if adaptive {
+                cfg.options.pmd_adaptive_idle = Some(PMD_ADAPTIVE_IDLE);
+            }
+            configs.push(cfg);
+        }
+    }
+    let results = parallel_map(configs, params.threads, crate::pmd::run_pmd);
+    LOADS_PPS
+        .iter()
+        .zip(results.chunks(2))
+        .map(|(&load_pps, pair)| {
+            let mut b = SampleSet::from_us(pair[0].result.total.raw().to_vec());
+            let mut a = SampleSet::from_us(pair[1].result.total.raw().to_vec());
+            PmdCrossoverRow {
+                load_pps,
+                interval_us: 1_000_000.0 / load_pps as f64,
+                busy: b.summary(),
+                busy_cpu_us: pair[0].cpu_us_per_packet,
+                busy_kcycles: pair[0].kcycles_per_packet,
+                adaptive: a.summary(),
+                adaptive_cpu_us: pair[1].cpu_us_per_packet,
+                adaptive_fallbacks: pair[1].irq_fallbacks,
+                kernel: kernel_summary,
+                kernel_cpu_us,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -874,6 +1018,73 @@ mod tests {
             .unwrap();
         // No UDP/IP stack and no 42-byte encapsulation → faster.
         assert!(console64.total.mean_us < net64.total.mean_us);
+    }
+
+    #[test]
+    fn pmd_beats_kernel_mean_and_tail() {
+        let rows = pmd_tails(ExperimentParams {
+            packets: 800,
+            seed: 21,
+            threads: 8,
+        });
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!(
+                r.pmd.mean_us < r.virtio.mean_us,
+                "{}B: PMD {} vs kernel {}",
+                r.payload,
+                r.pmd.mean_us,
+                r.virtio.mean_us
+            );
+            // Exactly one doorbell per packet: suppression never lapses.
+            assert!((r.pmd_doorbells_per_packet - 1.0).abs() < 1e-9);
+            // The poll path skips the blocking-noise draw: thinner tail.
+            let pmd_gap = r.pmd.p99_us - r.pmd.median_us;
+            let kernel_gap = r.virtio.p99_us - r.virtio.median_us;
+            assert!(
+                pmd_gap < kernel_gap,
+                "{}B: PMD p99−p50 {} vs kernel {}",
+                r.payload,
+                pmd_gap,
+                kernel_gap
+            );
+        }
+    }
+
+    #[test]
+    fn pmd_crossover_cpu_amortizes_with_load() {
+        let rows = pmd_crossover(ExperimentParams {
+            packets: 400,
+            seed: 6,
+            threads: 8,
+        });
+        assert_eq!(rows.len(), 5);
+        // The busy poller's CPU bill per packet shrinks as load rises
+        // (the idle spin amortizes over more packets)...
+        assert!(
+            rows[0].busy_cpu_us > rows[4].busy_cpu_us,
+            "2k pps {} vs 40k pps {}",
+            rows[0].busy_cpu_us,
+            rows[4].busy_cpu_us
+        );
+        for r in &rows {
+            // ...while its latency stays at or below the kernel driver's.
+            assert!(
+                r.busy.mean_us < r.kernel.mean_us,
+                "{} pps: busy {} vs kernel {}",
+                r.load_pps,
+                r.busy.mean_us,
+                r.kernel.mean_us
+            );
+            // The adaptive variant caps the burn at the poll threshold.
+            assert!(
+                r.adaptive_cpu_us <= r.busy_cpu_us + 1.0,
+                "{} pps: adaptive {} vs busy {}",
+                r.load_pps,
+                r.adaptive_cpu_us,
+                r.busy_cpu_us
+            );
+        }
     }
 
     #[test]

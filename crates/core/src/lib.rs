@@ -19,6 +19,8 @@
 //!
 //! * [`calibration`] — every timing constant, anchored and documented;
 //! * [`testbed`] — the discrete-event worlds for both driver stacks;
+//! * [`pmd`] — the third contender: the `vf-pmd` userspace kernel-bypass
+//!   poll-mode driver world (E15/E16);
 //! * [`report`] — sample sets, summaries, table rendering;
 //! * [`experiments`] — one function per paper artifact (Fig. 3, Fig. 4,
 //!   Fig. 5, Table I) plus the extension experiments E5–E11.
@@ -28,11 +30,13 @@
 pub mod calibration;
 pub mod experiments;
 pub mod pipeline;
+pub mod pmd;
 pub mod report;
 pub mod testbed;
 
 pub use calibration::Calibration;
 pub use pipeline::{run_pipelined, xdma_serial_pps, ThroughputResult};
+pub use pmd::{run_pmd, PmdRun};
 pub use report::{render_breakdown, render_table1, RunResult};
 pub use testbed::{DriverKind, Testbed, TestbedConfig, TestbedOptions};
 

@@ -1,0 +1,426 @@
+//! The poll-mode-driver world: the `vf-pmd` userspace kernel-bypass
+//! driver sequenced against the same FPGA, link, and cost models as the
+//! in-kernel contenders.
+//!
+//! The round trip differs from `VirtioWorld` in exactly the ways a PMD
+//! differs from a kernel driver:
+//!
+//! * the application builds and parses UDP frames **in user space**
+//!   (`pmd_tx_build` / `pmd_rx_parse` costs) — no socket syscalls, no
+//!   kernel network stack;
+//! * after the doorbell (rung only when the `EVENT_IDX` notify test says
+//!   the device went to sleep) the application **busy-polls** the used
+//!   ring; completion is detected one `poll_ring_peek` after the DMA
+//!   write lands — there is no hardirq, no softirq, no scheduler wakeup,
+//!   and crucially no `blocking_extra()` noise draw, which is what thins
+//!   the tail;
+//! * in adaptive mode ([`crate::testbed::TestbedOptions::pmd_adaptive_idle`]) the poller
+//!   gives up after a threshold, arms the RX interrupt, and blocks — the
+//!   wake then pays the full interrupt path including the noise draw,
+//!   recovering the kernel driver's latency profile but capping the CPU
+//!   burn;
+//! * in paced mode ([`crate::testbed::TestbedOptions::pmd_send_interval`]) sends are
+//!   spaced on a fixed offered-load clock; a busy poller burns the whole
+//!   idle gap, an adaptive one at most the threshold.
+//!
+//! [`run_pmd`] returns the standard [`RunResult`] plus PMD-only
+//! telemetry (CPU per packet, peek count, fallback count) used by the
+//! E16 crossover experiment.
+
+use vf_fpga::user_logic::UdpEcho;
+use vf_fpga::{bar0, Persona, VirtioFpgaDevice};
+use vf_hostsw::{
+    build_udp_frame, parse_udp_frame, CostEngine, Ipv4Addr, MacAddr, UdpFlow, HOST_CPU_GHZ,
+};
+use vf_pcie::{enumerate, HostMemory, MmioAllocator, PcieLink, MSI_ADDR_BASE};
+use vf_pmd::VirtioPmd;
+use vf_sim::{SimRng, Simulation, Time, World};
+use vf_virtio::net::VirtioNetConfig;
+use vf_virtio::{feature, net, DeviceType};
+
+use crate::report::RunResult;
+use crate::testbed::{Recorder, TestbedConfig, Transport};
+
+/// A PMD run: the standard result plus poll-economics telemetry.
+pub struct PmdRun {
+    /// The standard latency result (drop-in for `Testbed::run`).
+    pub result: RunResult,
+    /// Host CPU time per packet, µs — includes the busy-poll burn, the
+    /// honest price of a PMD.
+    pub cpu_us_per_packet: f64,
+    /// Same, in kilocycles at the testbed's [`HOST_CPU_GHZ`].
+    pub kcycles_per_packet: f64,
+    /// Used-index peeks issued by the poll loops.
+    pub poll_peeks: u64,
+    /// Adaptive poll→interrupt fallbacks taken.
+    pub irq_fallbacks: u64,
+    /// Doorbells rung (should stay ≤ 1 per packet, usually exactly 1 in
+    /// the serial echo workload since the device sleeps between bursts).
+    pub doorbells: u64,
+}
+
+/// Events of the PMD round-trip flow. Note the absence of an RX
+/// interrupt event: completions are discovered by polling, inline in the
+/// doorbell handler's aftermath.
+enum PmdEv {
+    /// Application sends the next packet.
+    AppSend,
+    /// Doorbell TLP lands in the device.
+    Doorbell(u16),
+}
+
+struct PmdWorld {
+    mem: HostMemory,
+    link: PcieLink,
+    device: VirtioFpgaDevice,
+    driver: VirtioPmd,
+    cost: CostEngine,
+    payload_rng: SimRng,
+    payload: usize,
+    flow: UdpFlow,
+    ip_id: u16,
+    expected: Vec<u8>,
+    /// When the application entered the RX poll loop.
+    poll_start: Time,
+    rec: Recorder,
+    adaptive_idle: Option<Time>,
+    send_interval: Option<Time>,
+    /// Absolute time of the last send (paced mode's clock edge).
+    last_send: Time,
+}
+
+impl PmdWorld {
+    const SRC_PORT: u16 = 40_000;
+    const DST_PORT: u16 = 7;
+
+    fn new(cfg: &TestbedConfig) -> Self {
+        assert_eq!(
+            cfg.options.device_type,
+            DeviceType::Net,
+            "the PMD drives the net persona"
+        );
+        let mut mem = HostMemory::testbed_default();
+        let link = PcieLink::new(cfg.calibration.link.clone());
+        let rng = SimRng::new(cfg.seed);
+        let cost = CostEngine::new(
+            cfg.calibration.costs.clone(),
+            cfg.calibration.noise.clone(),
+            rng.derive(1),
+        );
+
+        let netcfg = VirtioNetConfig::testbed_default();
+        let mut device = VirtioFpgaDevice::new(
+            Persona::Net { cfg: netcfg },
+            net::feature::MAC
+                | net::feature::MTU
+                | net::feature::STATUS
+                | net::feature::CSUM
+                | net::feature::GUEST_CSUM,
+            &[cfg.options.queue_size; 2],
+            Box::new(UdpEcho::default()),
+        );
+        device.set_card_memory(cfg.options.card_memory.store(256 * 1024));
+
+        // VFIO-style takeover still begins with ordinary enumeration:
+        // the BARs must be assigned before they can be mapped.
+        let mut alloc = MmioAllocator::new();
+        let info = enumerate(&mut device.config_space, &mut alloc);
+        assert_eq!(info.vendor, vf_pcie::VIRTIO_VENDOR_ID);
+
+        // The PMD always negotiates EVENT_IDX — permanent suppression is
+        // its operating principle, not an option.
+        let want = feature::VERSION_1
+            | feature::RING_EVENT_IDX
+            | net::feature::MAC
+            | net::feature::MTU
+            | net::feature::STATUS;
+        let driver = VirtioPmd::init(&mut mem, cfg.options.queue_size, want);
+        vf_pmd::probe(&mut Transport(&mut device), &driver, want).expect("PMD probe");
+        // MSI-X stays programmed as the adaptive fallback's landing pad;
+        // with both queues parked it never fires in pure polling.
+        device.msix_enable();
+        device.msix.program(0, MSI_ADDR_BASE, 0x40);
+        device.msix.program(1, MSI_ADDR_BASE, 0x41);
+        assert!(device.is_live());
+
+        let flow = UdpFlow {
+            src_mac: MacAddr([0x02, 0, 0, 0, 0, 0x01]),
+            dst_mac: MacAddr(netcfg.mac),
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            src_port: Self::SRC_PORT,
+            dst_port: Self::DST_PORT,
+        };
+
+        PmdWorld {
+            mem,
+            link,
+            device,
+            driver,
+            cost,
+            payload_rng: rng.derive(2),
+            payload: cfg.payload,
+            flow,
+            ip_id: 1,
+            expected: Vec::new(),
+            poll_start: Time::ZERO,
+            rec: Recorder::new(cfg.packets),
+            adaptive_idle: cfg.options.pmd_adaptive_idle,
+            send_interval: cfg.options.pmd_send_interval,
+            last_send: Time::ZERO,
+        }
+    }
+
+    /// The response DMA landed at `done_at`: detect it (by polling or by
+    /// the adaptive interrupt), harvest, verify, record, and line up the
+    /// next send.
+    fn complete_rtt(&mut self, done_at: Time, sched: &mut vf_sim::Scheduler<PmdEv>) {
+        let wait = done_at.saturating_sub(self.poll_start);
+        let t_detect = match self.adaptive_idle {
+            Some(threshold) if wait > threshold => {
+                // Polled `threshold` long, gave up: arm the interrupt,
+                // re-check the ring once (lost-wakeup guard), block. The
+                // wake pays the full interrupt path — including the
+                // blocking-noise draw the pure poller never sees.
+                self.cost.burn(threshold);
+                self.driver.arm_rx_interrupt(&mut self.mem);
+                let mut armed = self.poll_start + threshold;
+                armed += self.cost.step(self.cost.costs.syscall_entry);
+                armed += self.cost.step(self.cost.costs.block_schedule);
+                let mut t = done_at.max(armed) + self.cost.blocking_extra();
+                t += self.cost.step(self.cost.costs.hardirq_entry);
+                t += self.cost.step(self.cost.costs.wakeup_to_run);
+                t
+            }
+            _ => {
+                // Busy path: completion is seen at the first used-index
+                // peek at or after `done_at`; the whole wait is CPU burn.
+                let (burn, _peeks) = self.cost.poll_wait(wait);
+                self.poll_start + burn
+            }
+        };
+
+        let (frames, cpu) = self
+            .driver
+            .rx_burst(&mut self.mem, usize::MAX, &mut self.cost);
+        let mut t = t_detect + cpu;
+        let mut delivered: Option<Vec<u8>> = None;
+        for rx in frames {
+            match parse_udp_frame(&rx.frame) {
+                Ok(parsed) if parsed.udp_csum_ok => delivered = Some(parsed.payload),
+                Ok(_) | Err(_) => self.rec.verify_failures += 1,
+            }
+        }
+        if delivered.as_deref() != Some(&self.expected[..]) {
+            self.rec.verify_failures += 1;
+        }
+
+        let hw = self.device.counters.last_hw();
+        let proc = self.device.counters.processing.last;
+        self.rec.record(t, hw, proc);
+
+        if self.rec.packets_left > 0 {
+            t += self.cost.step(self.cost.costs.app_loop_overhead);
+            match self.send_interval {
+                None => sched.at(t, PmdEv::AppSend),
+                Some(interval) => {
+                    let next = self.last_send + interval;
+                    if next <= t {
+                        // Offered load exceeds service rate: saturated,
+                        // send immediately.
+                        sched.at(t, PmdEv::AppSend);
+                    } else {
+                        // Idle until the next clock edge: the busy poller
+                        // burns the whole gap, the adaptive one at most
+                        // the threshold (then it blocks on a timer).
+                        let gap = next - t;
+                        match self.adaptive_idle {
+                            None => self.cost.burn(gap),
+                            Some(threshold) => self.cost.burn(gap.min(threshold)),
+                        }
+                        sched.at(next, PmdEv::AppSend);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl World for PmdWorld {
+    type Msg = PmdEv;
+
+    fn deliver(&mut self, now: Time, msg: PmdEv, sched: &mut vf_sim::Scheduler<PmdEv>) {
+        match msg {
+            PmdEv::AppSend => {
+                if self.rec.packets_left == 0 {
+                    return;
+                }
+                self.rec.t0 = now;
+                self.last_send = now;
+                let mut t = now;
+
+                let mut payload = vec![0u8; self.payload];
+                self.payload_rng.fill_bytes(&mut payload);
+                self.expected = payload.clone();
+                // Userspace framing, checksum included (the paper's
+                // software-checksum configuration).
+                let frame = build_udp_frame(&self.flow, self.ip_id, &payload, true);
+                self.ip_id = self.ip_id.wrapping_add(1);
+                t += self.cost.step(self.cost.costs.pmd_tx_build);
+
+                let burst = self
+                    .driver
+                    .tx_burst(&mut self.mem, &[&frame], &mut self.cost);
+                t += burst.cpu;
+                if burst.notify {
+                    let off = bar0::NOTIFY
+                        + u64::from(net::TX_QUEUE) * u64::from(bar0::NOTIFY_MULTIPLIER);
+                    let ev = self.device.mmio_write(off, 2, u64::from(net::TX_QUEUE));
+                    debug_assert_eq!(ev, Some(vf_fpga::MmioEvent::Notify(net::TX_QUEUE)));
+                    let arrival = self.link.mmio_write(t, 2);
+                    t += self.cost.step(self.cost.costs.mmio_write_cpu);
+                    sched.at(arrival, PmdEv::Doorbell(net::TX_QUEUE));
+                } else {
+                    // Device still awake from the previous burst: it will
+                    // see the new avail entry on its next ring pass.
+                    sched.at(t, PmdEv::Doorbell(net::TX_QUEUE));
+                }
+                // No syscall exit, no block: straight into the poll loop.
+                self.poll_start = t;
+            }
+            PmdEv::Doorbell(queue) => {
+                let out = self
+                    .device
+                    .process_tx_notify(now, queue, &mut self.mem, &mut self.link);
+                for resp in &out.responses {
+                    let rxo = self.device.deliver_response(
+                        resp.ready_at,
+                        net::RX_QUEUE,
+                        resp,
+                        &mut self.mem,
+                        &mut self.link,
+                    );
+                    debug_assert!(
+                        rxo.irq_at.is_none(),
+                        "parked used_event must suppress the RX interrupt"
+                    );
+                    self.complete_rtt(rxo.done_at, sched);
+                }
+            }
+        }
+    }
+}
+
+/// Run one PMD configuration and return the result with poll telemetry.
+pub fn run_pmd(cfg: &TestbedConfig) -> PmdRun {
+    assert_eq!(cfg.driver, crate::testbed::DriverKind::VirtioPmd);
+    let world = PmdWorld::new(cfg);
+    let mut sim = Simulation::new(world);
+    sim.schedule(Time::from_us(10), PmdEv::AppSend);
+    let outcome = sim.run(Time::from_secs(3600), 200_000_000);
+    assert_eq!(outcome, vf_sim::RunOutcome::Idle, "simulation wedged");
+    let w = sim.world;
+    assert_eq!(w.rec.packets_left, 0, "packets lost in flight");
+
+    let packets = w.rec.totals.len().max(1) as f64;
+    let cpu_us_per_packet = w.cost.total_cpu().as_us_f64() / packets;
+    let result = RunResult::from_parts(
+        cfg.clone(),
+        w.rec.totals,
+        w.rec.hw,
+        w.rec.sw,
+        w.rec.proc,
+        w.rec.verify_failures,
+        w.driver.stats.doorbells,
+        w.device.stats.irqs_sent,
+    );
+    PmdRun {
+        result,
+        cpu_us_per_packet,
+        kcycles_per_packet: cpu_us_per_packet * HOST_CPU_GHZ,
+        poll_peeks: w.cost.poll_peeks,
+        irq_fallbacks: w.driver.stats.irq_fallbacks,
+        doorbells: w.driver.stats.doorbells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::DriverKind;
+
+    fn pmd_cfg(payload: usize, packets: usize) -> TestbedConfig {
+        TestbedConfig::paper(DriverKind::VirtioPmd, payload, packets, 7)
+    }
+
+    #[test]
+    fn pmd_round_trips_verify() {
+        let run = run_pmd(&pmd_cfg(256, 300));
+        let mut result = run.result;
+        assert_eq!(result.verify_failures, 0);
+        let s = result.total_summary();
+        assert!(
+            s.mean_us > 3.0 && s.mean_us < 60.0,
+            "PMD RTT out of range: {} µs",
+            s.mean_us
+        );
+        // Exactly one doorbell per packet in the serial echo (device
+        // sleeps between packets), and zero interrupts.
+        assert_eq!(run.doorbells, 300);
+        assert_eq!(result.irqs, 0);
+        assert_eq!(run.irq_fallbacks, 0);
+        assert!(run.poll_peeks >= 300, "each RTT polls at least once");
+        assert!(run.cpu_us_per_packet > 0.0);
+    }
+
+    #[test]
+    fn pmd_is_deterministic() {
+        let a = run_pmd(&pmd_cfg(128, 200));
+        let b = run_pmd(&pmd_cfg(128, 200));
+        let (mut ra, mut rb) = (a.result, b.result);
+        assert_eq!(ra.total_summary().mean_us, rb.total_summary().mean_us);
+        assert_eq!(a.poll_peeks, b.poll_peeks);
+    }
+
+    #[test]
+    fn adaptive_threshold_zero_always_falls_back() {
+        let mut cfg = pmd_cfg(64, 150);
+        cfg.options.pmd_adaptive_idle = Some(Time::ZERO);
+        let run = run_pmd(&cfg);
+        assert_eq!(
+            run.irq_fallbacks, 150,
+            "every wait exceeds a zero threshold"
+        );
+        assert_eq!(run.result.verify_failures, 0);
+    }
+
+    #[test]
+    fn adaptive_large_threshold_never_falls_back() {
+        let mut cfg = pmd_cfg(64, 150);
+        cfg.options.pmd_adaptive_idle = Some(Time::from_us(1000));
+        let run = run_pmd(&cfg);
+        assert_eq!(run.irq_fallbacks, 0, "no wait reaches a 1 ms threshold");
+        assert_eq!(run.result.verify_failures, 0);
+    }
+
+    #[test]
+    fn paced_mode_burns_idle_and_holds_latency() {
+        let mut cfg = pmd_cfg(256, 200);
+        cfg.options.pmd_send_interval = Some(Time::from_us(100)); // 10k pps
+        let paced = run_pmd(&cfg);
+        let unpaced = run_pmd(&pmd_cfg(256, 200));
+        // Pacing must not change per-packet latency (serial echo)...
+        let (mut rp, mut ru) = (paced.result, unpaced.result);
+        assert!((rp.total_summary().mean_us - ru.total_summary().mean_us).abs() < 1.0);
+        // ...but the busy poller pays for the idle gaps in CPU: at 10k
+        // pps it spins essentially the whole 100 µs inter-send interval.
+        assert!(
+            paced.cpu_us_per_packet > 3.0 * unpaced.cpu_us_per_packet
+                && paced.cpu_us_per_packet > 90.0
+                && paced.cpu_us_per_packet < 110.0,
+            "paced {} vs unpaced {} µs/pkt",
+            paced.cpu_us_per_packet,
+            unpaced.cpu_us_per_packet
+        );
+    }
+}

@@ -43,6 +43,10 @@ pub enum DriverKind {
     Virtio,
     /// Vendor-provided XDMA character-device driver.
     Xdma,
+    /// Userspace kernel-bypass poll-mode VirtIO driver (`vf-pmd`):
+    /// VFIO-mapped BARs, permanent interrupt suppression, busy-poll
+    /// RX/TX with batched ring operations.
+    VirtioPmd,
 }
 
 impl DriverKind {
@@ -51,6 +55,7 @@ impl DriverKind {
         match self {
             DriverKind::Virtio => "VirtIO",
             DriverKind::Xdma => "XDMA",
+            DriverKind::VirtioPmd => "VirtIO-PMD",
         }
     }
 }
@@ -82,6 +87,14 @@ pub struct TestbedOptions {
     /// front-end, a host-side back-end worker, and the legacy driver —
     /// instead of the direct VirtIO-to-FPGA interface (Fig. 1 right).
     pub vhost_overlay: bool,
+    /// E16 (PMD only): adaptive poll→interrupt fallback. After busy-
+    /// polling this long with no completion the PMD arms the RX
+    /// interrupt and blocks; `None` (default) polls forever.
+    pub pmd_adaptive_idle: Option<Time>,
+    /// E16 (PMD only): offered-load pacing — one packet per interval,
+    /// timed from the previous send. `None` (default) runs closed-loop
+    /// back-to-back like the other drivers.
+    pub pmd_send_interval: Option<Time>,
 }
 
 impl Default for TestbedOptions {
@@ -94,6 +107,8 @@ impl Default for TestbedOptions {
             xdma_wait_device_irq: false,
             vhost_overlay: false,
             card_memory: CardKind::Bram,
+            pmd_adaptive_idle: None,
+            pmd_send_interval: None,
         }
     }
 }
@@ -108,7 +123,7 @@ pub enum CardKind {
 }
 
 impl CardKind {
-    fn store(self, len: usize) -> vf_fpga::CardStore {
+    pub(crate) fn store(self, len: usize) -> vf_fpga::CardStore {
         match self {
             CardKind::Bram => vf_fpga::CardStore::bram(len),
             CardKind::Ddr => vf_fpga::CardStore::ddr(len),
@@ -157,18 +172,18 @@ impl TestbedConfig {
 }
 
 /// Per-run measurement accumulator.
-struct Recorder {
-    totals: SampleSet,
-    hw: SampleSet,
-    sw: SampleSet,
-    proc: SampleSet,
-    verify_failures: u64,
-    packets_left: usize,
-    t0: Time,
+pub(crate) struct Recorder {
+    pub(crate) totals: SampleSet,
+    pub(crate) hw: SampleSet,
+    pub(crate) sw: SampleSet,
+    pub(crate) proc: SampleSet,
+    pub(crate) verify_failures: u64,
+    pub(crate) packets_left: usize,
+    pub(crate) t0: Time,
 }
 
 impl Recorder {
-    fn new(packets: usize) -> Self {
+    pub(crate) fn new(packets: usize) -> Self {
         Recorder {
             totals: SampleSet::with_capacity(packets),
             hw: SampleSet::with_capacity(packets),
@@ -180,7 +195,7 @@ impl Recorder {
         }
     }
 
-    fn record(&mut self, t_end: Time, hw: Time, proc: Time) {
+    pub(crate) fn record(&mut self, t_end: Time, hw: Time, proc: Time) {
         // Host clock_gettime(CLOCK_MONOTONIC): 1 ns resolution.
         let total = (t_end - self.t0).quantize(Time::from_ns(1));
         self.totals.push(total);
@@ -279,7 +294,7 @@ impl VirtioParts {
 // ---------------------------------------------------------------------
 
 /// MMIO adapter: the driver's view of the device BAR.
-struct Transport<'a>(&'a mut VirtioFpgaDevice);
+pub(crate) struct Transport<'a>(pub(crate) &'a mut VirtioFpgaDevice);
 
 impl VirtioTransport for Transport<'_> {
     fn common_read(&mut self, off: u64, len: usize) -> u64 {
@@ -984,6 +999,7 @@ impl Testbed {
                     w.device.stats.irqs_sent,
                 )
             }
+            DriverKind::VirtioPmd => crate::pmd::run_pmd(&cfg).result,
             DriverKind::Xdma => {
                 let world = XdmaWorld::new(&cfg);
                 let mut sim = Simulation::new(world);

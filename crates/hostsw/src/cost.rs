@@ -71,7 +71,24 @@ pub struct HostCosts {
     /// Paravirtualization overlay: host → guest interrupt injection
     /// (irqfd + vCPU notification).
     pub irq_inject: Time,
+    /// Poll-mode driver: one busy-poll peek of the used index. Priced as
+    /// a DRAM cache miss — the device's index write invalidates the
+    /// polling core's line, so each productive peek re-fetches it.
+    pub poll_ring_peek: Time,
+    /// Poll-mode driver: build header + frame in a userspace TX slot
+    /// (no skb, no route lookup — the stack is a flat frame builder).
+    pub pmd_tx_build: Time,
+    /// Poll-mode driver: parse + validate one received frame in
+    /// userspace (checksums charged separately).
+    pub pmd_rx_parse: Time,
+    /// Poll-mode driver: descriptor add + batch-publish bookkeeping per
+    /// chain.
+    pub pmd_ring_add: Time,
 }
+
+/// Nominal clock of the calibrated host's CPU (GHz) — converts burned
+/// poll time into the cycles-per-packet figures E16 reports.
+pub const HOST_CPU_GHZ: f64 = 3.8;
 
 impl HostCosts {
     /// Calibrated defaults for the paper's Fedora 37 desktop host.
@@ -99,6 +116,10 @@ impl HostCosts {
             app_loop_overhead: Time::from_ns(180),
             vmexit_kick: Time::from_ns(1_900),
             irq_inject: Time::from_ns(1_600),
+            poll_ring_peek: Time::from_ns(80),
+            pmd_tx_build: Time::from_ns(250),
+            pmd_rx_parse: Time::from_ns(220),
+            pmd_ring_add: Time::from_ns(120),
         }
     }
 }
@@ -115,6 +136,13 @@ pub struct CostEngine {
     pub total_charged: Time,
     /// Number of steps charged.
     pub steps_charged: u64,
+    /// CPU time burned busy-polling (spinning on the used index) — time
+    /// the core was 100% occupied but did no productive work. Tracked
+    /// separately from [`Self::total_charged`] so the poll-vs-interrupt
+    /// tradeoff of E16 is measurable.
+    pub poll_cpu_burnt: Time,
+    /// Ring peeks issued while busy-polling.
+    pub poll_peeks: u64,
 }
 
 impl CostEngine {
@@ -126,6 +154,8 @@ impl CostEngine {
             rng,
             total_charged: Time::ZERO,
             steps_charged: 0,
+            poll_cpu_burnt: Time::ZERO,
+            poll_peeks: 0,
         }
     }
 
@@ -154,6 +184,41 @@ impl CostEngine {
     /// (noise spikes; zero most of the time).
     pub fn blocking_extra(&mut self) -> Time {
         self.noise.interruptible_extra(&mut self.rng)
+    }
+
+    /// Busy-poll until a completion that lands `wait` from now becomes
+    /// visible. Returns `(burn, peeks)`: the wall-clock/CPU time spun
+    /// (peeks × [`HostCosts::poll_ring_peek`], so detection quantizes to
+    /// the peek cadence) and the number of peeks issued, both also
+    /// accumulated into [`Self::poll_cpu_burnt`] / [`Self::poll_peeks`].
+    ///
+    /// Deliberately noise-free: the poll loop is a register-resident spin
+    /// on an isolated core — there are no kernel entries for jitter to
+    /// ride in on, which is exactly why the PMD's tail is thin (§E15).
+    /// At least one peek is charged (the one that observes the index
+    /// moved).
+    pub fn poll_wait(&mut self, wait: Time) -> (Time, u64) {
+        let peek = self.costs.poll_ring_peek;
+        debug_assert!(peek > Time::ZERO);
+        // ceil(wait / peek), minimum 1: the observing peek itself.
+        let k = (wait.as_ps().div_ceil(peek.as_ps())).max(1);
+        let burn = Time::from_ps(k * peek.as_ps());
+        self.poll_cpu_burnt += burn;
+        self.poll_peeks += k;
+        (burn, k)
+    }
+
+    /// Burn `t` of pure spin time (idle-gap polling between offered-load
+    /// packets, with no completion to anchor to).
+    pub fn burn(&mut self, t: Time) {
+        let peek = self.costs.poll_ring_peek;
+        self.poll_cpu_burnt += t;
+        self.poll_peeks += t.as_ps() / peek.as_ps().max(1);
+    }
+
+    /// Total CPU time consumed: productive steps + poll spin.
+    pub fn total_cpu(&self) -> Time {
+        self.total_charged + self.poll_cpu_burnt
     }
 
     /// Borrow the RNG stream (workload payload generation, ip_id, ...).
@@ -236,6 +301,66 @@ mod tests {
     fn sw_checksum_linear() {
         let mut e = engine(false);
         assert_eq!(e.sw_checksum(1000).as_ps(), 1000 * e.costs.csum_per_byte_ps);
+    }
+
+    #[test]
+    fn poll_wait_quantizes_to_peek_cadence() {
+        let mut e = engine(false);
+        let peek = e.costs.poll_ring_peek;
+        // Completion lands mid-peek: detection rounds up to the next peek.
+        let (burn, k) = e.poll_wait(Time::from_ns(200));
+        assert_eq!(k, 3); // ceil(200 / 80)
+        assert_eq!(burn, Time::from_ps(3 * peek.as_ps()));
+        // Zero wait still costs the observing peek.
+        let (burn0, k0) = e.poll_wait(Time::ZERO);
+        assert_eq!(k0, 1);
+        assert_eq!(burn0, peek);
+        // The burn channel accumulated both, separate from step charges.
+        assert_eq!(e.poll_peeks, 4);
+        assert_eq!(e.poll_cpu_burnt, Time::from_ps(4 * peek.as_ps()));
+        assert_eq!(e.total_charged, Time::ZERO);
+        assert_eq!(e.total_cpu(), e.poll_cpu_burnt);
+    }
+
+    #[test]
+    fn poll_wait_is_deterministic_under_noise() {
+        // Unlike step(), poll_wait must not draw jitter: the spin loop
+        // never enters the kernel.
+        let mut a = engine(true);
+        let mut b = engine(true);
+        // Desynchronize the RNG streams; poll_wait must not care.
+        a.step(Time::from_ns(100));
+        for w in [1_u64, 79, 80, 81, 1000, 50_000] {
+            assert_eq!(a.poll_wait(Time::from_ns(w)), b.poll_wait(Time::from_ns(w)));
+        }
+    }
+
+    #[test]
+    fn burn_accumulates_gap_time() {
+        let mut e = engine(false);
+        e.burn(Time::from_us(500));
+        assert_eq!(e.poll_cpu_burnt, Time::from_us(500));
+        assert_eq!(
+            e.poll_peeks,
+            Time::from_us(500).as_ps() / e.costs.poll_ring_peek.as_ps()
+        );
+        assert!(e.total_cpu() >= Time::from_us(500));
+    }
+
+    #[test]
+    fn pmd_costs_are_sub_microsecond() {
+        // The whole point of the PMD path: its per-packet steps are an
+        // order of magnitude below the kernel-path steps.
+        let c = HostCosts::fedora37();
+        for t in [
+            c.poll_ring_peek,
+            c.pmd_tx_build,
+            c.pmd_rx_parse,
+            c.pmd_ring_add,
+        ] {
+            assert!(t >= Time::from_ns(10) && t < Time::from_ns(500), "{t}");
+        }
+        const { assert!(HOST_CPU_GHZ > 1.0 && HOST_CPU_GHZ < 10.0) };
     }
 
     #[test]

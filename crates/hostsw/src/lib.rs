@@ -44,7 +44,7 @@ pub mod virtio_console;
 pub mod virtio_net;
 pub mod xdma_char;
 
-pub use cost::{CostEngine, HostCosts};
+pub use cost::{CostEngine, HostCosts, HOST_CPU_GHZ};
 pub use netcfg::{ArpCache, Route, RoutingTable};
 pub use packet::{
     build_udp_frame, parse_udp_frame, udp_checksum, Ipv4Addr, MacAddr, ParseError, ParsedUdp,

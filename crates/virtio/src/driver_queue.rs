@@ -191,6 +191,26 @@ impl DriverQueue {
         self.avail_idx
     }
 
+    /// Publish several built chains with a single avail-index store.
+    ///
+    /// A poll-mode driver that builds a burst of chains pays the
+    /// store-release cost once for the whole burst: every ring entry is
+    /// written first, then the index advances past all of them in one
+    /// write. Returns the new avail index (already written to memory).
+    /// An empty batch is a no-op and returns the current index.
+    pub fn publish_batch<M: GuestMemory>(&mut self, mem: &mut M, heads: &[u16]) -> u16 {
+        if heads.is_empty() {
+            return self.avail_idx;
+        }
+        for (i, &head) in heads.iter().enumerate() {
+            let slot = self.avail_idx.wrapping_add(i as u16) % self.layout.size;
+            mem.write_u16(self.layout.avail_ring_addr(slot), head);
+        }
+        self.avail_idx = self.avail_idx.wrapping_add(heads.len() as u16);
+        mem.write_u16(self.layout.avail_idx_addr(), self.avail_idx);
+        self.avail_idx
+    }
+
     /// Convenience: add + publish in one call.
     pub fn add_and_publish<M: GuestMemory>(
         &mut self,
@@ -241,6 +261,36 @@ impl DriverQueue {
             mem.write_u16(self.layout.used_event_addr(), self.last_used);
         }
         Some(elem)
+    }
+
+    /// Consume up to `max` used entries in one pass, freeing their
+    /// chains.
+    ///
+    /// The used index is read once for the whole batch and — when
+    /// `VIRTIO_F_EVENT_IDX` is negotiated — `used_event` is written once,
+    /// after the last entry, instead of per entry. This is the consume
+    /// half of a poll-mode burst: one cache-missing index read amortized
+    /// over every completion it reveals.
+    pub fn pop_used_batch<M: GuestMemory>(&mut self, mem: &mut M, max: usize) -> Vec<UsedElem> {
+        let used_idx = mem.read_u16(self.layout.used_idx_addr());
+        let pending = used_idx.wrapping_sub(self.last_used) as usize;
+        let take = pending.min(max);
+        let mut out = Vec::with_capacity(take);
+        for _ in 0..take {
+            let slot = self.last_used % self.layout.size;
+            let entry_addr = self.layout.used_ring_addr(slot);
+            let elem = UsedElem {
+                id: mem.read_u32(entry_addr),
+                len: mem.read_u32(entry_addr + 4),
+            };
+            self.last_used = self.last_used.wrapping_add(1);
+            self.free_chain(mem, elem.id as u16);
+            out.push(elem);
+        }
+        if self.event_idx && !out.is_empty() {
+            mem.write_u16(self.layout.used_event_addr(), self.last_used);
+        }
+        out
     }
 
     /// Number of used entries waiting (peek without consuming).
@@ -468,6 +518,148 @@ mod tests {
         mem.write_u16(q.layout().used_idx_addr(), 1);
         q.pop_used(&mut mem).unwrap();
         assert_eq!(q.num_free(), 8);
+    }
+
+    #[test]
+    fn publish_batch_single_index_store() {
+        let (mut mem, mut q) = setup(8, false);
+        let heads: Vec<u16> = (0..3)
+            .map(|i| {
+                q.add_chain(&mut mem, &[BufferSpec::readable(i * 64, 64)])
+                    .unwrap()
+            })
+            .collect();
+        // Nothing published yet: the index in memory is still 0.
+        assert_eq!(mem.read_u16(q.layout().avail_idx_addr()), 0);
+        let new_idx = q.publish_batch(&mut mem, &heads);
+        assert_eq!(new_idx, 3);
+        assert_eq!(mem.read_u16(q.layout().avail_idx_addr()), 3);
+        for (i, &h) in heads.iter().enumerate() {
+            assert_eq!(mem.read_u16(q.layout().avail_ring_addr(i as u16)), h);
+        }
+    }
+
+    #[test]
+    fn publish_batch_empty_is_noop() {
+        let (mut mem, mut q) = setup(4, false);
+        assert_eq!(q.publish_batch(&mut mem, &[]), 0);
+        assert_eq!(mem.read_u16(q.layout().avail_idx_addr()), 0);
+    }
+
+    #[test]
+    fn publish_batch_wraps_ring() {
+        let (mut mem, mut q) = setup(4, false);
+        // Advance the ring close to wrap: publish and complete 3 chains.
+        for round in 0..3_u16 {
+            let h = q
+                .add_and_publish(&mut mem, &[BufferSpec::readable(0, 4)])
+                .unwrap();
+            mem.write_u32(q.layout().used_ring_addr(round % 4), h as u32);
+            mem.write_u32(q.layout().used_ring_addr(round % 4) + 4, 0);
+            mem.write_u16(q.layout().used_idx_addr(), round + 1);
+            q.pop_used(&mut mem).unwrap();
+        }
+        // A 2-entry batch now spans slots 3 and 0.
+        let heads: Vec<u16> = (0..2)
+            .map(|i| {
+                q.add_chain(&mut mem, &[BufferSpec::readable(i * 8, 8)])
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(q.publish_batch(&mut mem, &heads), 5);
+        assert_eq!(mem.read_u16(q.layout().avail_ring_addr(3)), heads[0]);
+        assert_eq!(mem.read_u16(q.layout().avail_ring_addr(0)), heads[1]);
+    }
+
+    #[test]
+    fn pop_used_batch_consumes_and_frees() {
+        let (mut mem, mut q) = setup(8, true);
+        let heads: Vec<u16> = (0..4)
+            .map(|i| {
+                q.add_and_publish(&mut mem, &[BufferSpec::readable(i * 64, 64)])
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(q.num_free(), 4);
+        for (slot, &h) in heads.iter().enumerate() {
+            mem.write_u32(q.layout().used_ring_addr(slot as u16), h as u32);
+            mem.write_u32(q.layout().used_ring_addr(slot as u16) + 4, 64);
+        }
+        mem.write_u16(q.layout().used_idx_addr(), 4);
+        // Bounded batch takes only `max`…
+        let first = q.pop_used_batch(&mut mem, 3);
+        assert_eq!(first.len(), 3);
+        assert_eq!(
+            first.iter().map(|e| e.id).collect::<Vec<_>>(),
+            heads[..3].iter().map(|&h| h as u32).collect::<Vec<_>>()
+        );
+        // …and writes used_event once, at the post-batch position.
+        assert_eq!(mem.read_u16(q.layout().used_event_addr()), 3);
+        let rest = q.pop_used_batch(&mut mem, 16);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(q.num_free(), 8);
+        assert_eq!(mem.read_u16(q.layout().used_event_addr()), 4);
+        // Empty batch leaves used_event untouched.
+        assert!(q.pop_used_batch(&mut mem, 16).is_empty());
+        assert_eq!(mem.read_u16(q.layout().used_event_addr()), 4);
+    }
+
+    #[test]
+    fn batch_roundtrip_matches_serial_ops() {
+        // The batched APIs must leave identical driver state to the
+        // one-at-a-time APIs they replace.
+        let (mut mem_a, mut qa) = setup(8, true);
+        let (mut mem_b, mut qb) = setup(8, true);
+        let heads_a: Vec<u16> = (0..5)
+            .map(|i| {
+                qa.add_chain(&mut mem_a, &[BufferSpec::readable(i * 32, 32)])
+                    .unwrap()
+            })
+            .collect();
+        let heads_b: Vec<u16> = (0..5)
+            .map(|i| {
+                qb.add_chain(&mut mem_b, &[BufferSpec::readable(i * 32, 32)])
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(heads_a, heads_b);
+        for &h in &heads_a {
+            qa.publish(&mut mem_a, h);
+        }
+        qb.publish_batch(&mut mem_b, &heads_b);
+        assert_eq!(qa.avail_idx(), qb.avail_idx());
+        for slot in 0..5_u16 {
+            assert_eq!(
+                mem_a.read_u16(qa.layout().avail_ring_addr(slot)),
+                mem_b.read_u16(qb.layout().avail_ring_addr(slot))
+            );
+        }
+        for (mem, q, heads) in [
+            (&mut mem_a, &mut qa, &heads_a),
+            (&mut mem_b, &mut qb, &heads_b),
+        ] {
+            for (slot, &h) in heads.iter().enumerate() {
+                mem.write_u32(q.layout().used_ring_addr(slot as u16), h as u32);
+                mem.write_u32(q.layout().used_ring_addr(slot as u16) + 4, 0);
+            }
+            mem.write_u16(q.layout().used_idx_addr(), 5);
+        }
+        let mut serial = Vec::new();
+        while let Some(e) = qa.pop_used(&mut mem_a) {
+            serial.push(e.id);
+        }
+        let batched: Vec<u32> = qb
+            .pop_used_batch(&mut mem_b, usize::MAX)
+            .iter()
+            .map(|e| e.id)
+            .collect();
+        assert_eq!(serial, batched);
+        assert_eq!(qa.num_free(), qb.num_free());
+        assert_eq!(qa.last_used(), qb.last_used());
+        assert_eq!(
+            mem_a.read_u16(qa.layout().used_event_addr()),
+            mem_b.read_u16(qb.layout().used_event_addr())
+        );
     }
 
     #[test]

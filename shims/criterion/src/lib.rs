@@ -1,0 +1,201 @@
+//! Offline stand-in for `criterion` (0.5 API subset).
+//!
+//! Implements the group / `bench_function` / `bench_with_input` /
+//! `Bencher::iter` surface the workspace's benches use, with a simple
+//! time-boxed measurement loop (short warm-up, then iterate until a time
+//! budget or iteration cap) and a one-line report per benchmark:
+//! median-free mean ns/iter plus throughput when configured. No
+//! statistical analysis, plots, or baselines — those belong to the real
+//! crate; the benches here exist to time the simulator and print the
+//! paper-style tables they compute.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement entry point, handed to each bench target function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation for per-second rates in reports.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput used to derive per-second rates.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Run a benchmark with no input parameter.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.id.clone();
+        self.run_one(&id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// End the group (formatting no-op; kept for API parity).
+    pub fn finish(self) {}
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher { measured: None };
+        f(&mut b);
+        let (elapsed, iters) = b
+            .measured
+            .expect("benchmark closure must call Bencher::iter");
+        let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!("  thrpt: {:>12.0} elem/s", n as f64 * 1e9 / ns_per_iter)
+            }
+            Throughput::Bytes(n) => {
+                format!("  thrpt: {:>12.0} B/s", n as f64 * 1e9 / ns_per_iter)
+            }
+        });
+        println!(
+            "{}/{:<40} time: {:>12.0} ns/iter ({} iters){}",
+            self.name,
+            id,
+            ns_per_iter,
+            iters,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Runs the measured routine.
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measure `routine`: one warm-up call, then iterate until a ~200 ms
+    /// budget or 1000 iterations, whichever comes first (min 3).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < 3 || (start.elapsed() < budget && iters < 1000) {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+/// Prevent the optimizer from eliding a value (re-export convenience).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a function that runs the listed bench targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_selftest");
+        group.throughput(Throughput::Elements(1));
+        let mut calls = 0u64;
+        group.bench_function("count_calls", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls >= 4, "warm-up + >=3 measured iterations, got {calls}");
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("VirtIO", 64).id, "VirtIO/64");
+        assert_eq!(BenchmarkId::from_parameter(256).id, "256");
+    }
+}

@@ -1,0 +1,79 @@
+//! Offline stand-in for `crossbeam`: the `thread::scope` API this
+//! workspace uses, implemented over `std::thread::scope` (which absorbed
+//! crossbeam's design in Rust 1.63).
+
+#![warn(missing_docs)]
+
+/// Scoped threads (subset of `crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handed to [`scope`]'s closure; spawn borrows through it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread and return its result (Err on panic).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all threads spawned in it are joined before
+    /// this returns. Always `Ok` — a panicking child propagates its panic
+    /// at scope exit, as with `std::thread::scope`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1, 2, 3];
+        let sum = thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(sum, 12);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 40).join().unwrap() + 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`: the `Serialize`/`Deserialize` derive
+//! names resolve (to no-op expansions from the vendored `serde_derive`
+//! shim), keeping result types annotation-compatible with the real crate
+//! without any registry dependency.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

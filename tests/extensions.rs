@@ -51,6 +51,31 @@ fn e12_pipelining_beats_serial_xdma() {
 }
 
 #[test]
+fn e12_event_idx_coalesces_below_one_per_packet() {
+    // Regression guard for the EVENT_IDX mechanism: once the window is
+    // deep enough, suppression must coalesce both doorbells and
+    // interrupts below one per packet — the property the PMD pushes to
+    // its limit (zero interrupts, one doorbell per *burst*).
+    let cfg = TestbedConfig::paper(DriverKind::Virtio, 256, 1_500, 23);
+    for depth in [8usize, 16, 32] {
+        let r = virtio_fpga::run_pipelined(&cfg, depth);
+        assert_eq!(r.verify_failures, 0);
+        assert!(
+            r.doorbells_per_packet() < 1.0,
+            "depth {}: {} doorbells/pkt",
+            depth,
+            r.doorbells_per_packet()
+        );
+        assert!(
+            r.irqs_per_packet() < 1.0,
+            "depth {}: {} irqs/pkt",
+            depth,
+            r.irqs_per_packet()
+        );
+    }
+}
+
+#[test]
 fn e13_paravirt_costs_more_than_direct() {
     let rows = experiments::deployment_models(params(800));
     for r in &rows {

@@ -1,0 +1,77 @@
+//! Acceptance tests for the `vf-pmd` poll-mode driver subsystem (E15):
+//! at a fixed seed, the PMD must beat the in-kernel VirtIO driver on
+//! mean round-trip latency at every paper payload, with a visibly
+//! thinner tail (smaller p99 − p50 gap) — the paper's "latency is host
+//! software events" claim taken to its kernel-bypass conclusion.
+
+use virtio_fpga::{run_pmd, DriverKind, Testbed, TestbedConfig, PAPER_PAYLOADS};
+
+const SEED: u64 = 42;
+const PACKETS: usize = 2_000;
+
+#[test]
+fn e15_pmd_beats_kernel_virtio_on_mean_and_tail() {
+    for &payload in &PAPER_PAYLOADS {
+        let mut kernel = Testbed::new(TestbedConfig::paper(
+            DriverKind::Virtio,
+            payload,
+            PACKETS,
+            SEED,
+        ))
+        .run();
+        let mut pmd = Testbed::new(TestbedConfig::paper(
+            DriverKind::VirtioPmd,
+            payload,
+            PACKETS,
+            SEED,
+        ))
+        .run();
+        assert_eq!(kernel.verify_failures, 0);
+        assert_eq!(pmd.verify_failures, 0);
+
+        let k = kernel.total_summary();
+        let p = pmd.total_summary();
+        assert!(
+            p.mean_us <= k.mean_us,
+            "{payload}B: PMD mean {} must not exceed kernel mean {}",
+            p.mean_us,
+            k.mean_us
+        );
+        // "Visibly smaller": not just <, but by a real margin.
+        let pmd_gap = p.p99_us - p.median_us;
+        let kernel_gap = k.p99_us - k.median_us;
+        assert!(
+            pmd_gap < 0.75 * kernel_gap,
+            "{payload}B: PMD p99−p50 {pmd_gap} vs kernel {kernel_gap}"
+        );
+    }
+}
+
+#[test]
+fn e15_pmd_interrupt_and_doorbell_economics() {
+    let run = run_pmd(&TestbedConfig::paper(
+        DriverKind::VirtioPmd,
+        256,
+        PACKETS,
+        SEED,
+    ));
+    // Permanent suppression: zero MSI-X messages across the whole run.
+    assert_eq!(run.result.irqs, 0, "the PMD must never take an interrupt");
+    assert_eq!(run.irq_fallbacks, 0);
+    // One doorbell per packet in the serial echo — the device sleeps
+    // between packets, so each send must kick exactly once.
+    assert_eq!(run.doorbells, PACKETS as u64);
+    // Poll economics are accounted: at least one peek per round trip,
+    // and a nonzero CPU bill that includes the spin.
+    assert!(run.poll_peeks >= PACKETS as u64);
+    assert!(run.cpu_us_per_packet > 0.0);
+}
+
+#[test]
+fn e15_pmd_run_is_reproducible_at_fixed_seed() {
+    let cfg = TestbedConfig::paper(DriverKind::VirtioPmd, 512, 600, 7);
+    let mut a = Testbed::new(cfg.clone()).run();
+    let mut b = Testbed::new(cfg).run();
+    assert_eq!(a.total_summary().mean_us, b.total_summary().mean_us);
+    assert_eq!(a.total_summary().p999_us, b.total_summary().p999_us);
+}
