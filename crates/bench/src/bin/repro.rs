@@ -17,6 +17,7 @@
 //!   card-memory                    E14 BRAM vs external DDR
 //!   pmd                            E15 vf-pmd poll-mode driver vs kernel drivers
 //!   pmd-crossover                  E16 poll-vs-interrupt crossover vs offered load
+//!   packed                         E17 split vs packed virtqueue layout
 //!   all                            everything above
 //! ```
 //!
@@ -81,6 +82,7 @@ fn main() {
             "card-memory",
             "pmd",
             "pmd-crossover",
+            "packed",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -184,6 +186,9 @@ fn main() {
                     render_pmd_crossover(&experiments::pmd_crossover(params))
                 );
             }
+            "packed" => {
+                println!("{}", render_packed(&experiments::packed_ring(params)));
+            }
             other => {
                 eprintln!("unknown artifact: {other}");
                 print_usage();
@@ -254,6 +259,6 @@ fn print_usage() {
         "usage: repro [--packets N] [--seed S] [--quick] [--csv DIR] <artifact>...\n\
          artifacts: fig3 fig4 fig5 table1 portability xdma-irq-ablation\n\
          \u{20}          virtio-features bypass devtypes csum-offload noise-sweep\n\
-         \u{20}          pipeline deployment card-memory pmd pmd-crossover all"
+         \u{20}          pipeline deployment card-memory pmd pmd-crossover packed all"
     );
 }

@@ -6,7 +6,7 @@
 #![warn(missing_docs)]
 
 use virtio_fpga::experiments::{
-    BreakdownRow, BypassRow, CsumRow, DeviceTypeRow, Fig3Row, NoiseRow, PmdCrossoverRow,
+    BreakdownRow, BypassRow, CsumRow, DeviceTypeRow, Fig3Row, NoiseRow, PackedRow, PmdCrossoverRow,
     PmdTailsRow, PortabilityRow, Table1Row, VirtioFeatureRow, XdmaIrqRow,
 };
 use virtio_fpga::{render_breakdown, render_table1, DriverKind};
@@ -279,6 +279,25 @@ pub fn render_pmd_crossover(rows: &[PmdCrossoverRow]) -> String {
     out
 }
 
+/// Render the E17 split-vs-packed ring comparison.
+pub fn render_packed(rows: &[PackedRow]) -> String {
+    let mut out = String::from(
+        "E17 — Split vs packed virtqueue layout (us)\npayload | layout   mean    sd    med    p95    p99 | desc reads/pkt\n--------+-------------------------------------------+---------------\n",
+    );
+    for r in rows {
+        for (name, s, reads) in [
+            ("split", &r.split, r.split_desc_reads_per_packet),
+            ("packed", &r.packed, r.packed_desc_reads_per_packet),
+        ] {
+            out.push_str(&format!(
+                "{:>6}B | {:<7}{:>6.1}{:>6.1}{:>7.1}{:>7.1}{:>7.1} | {:>13.2}\n",
+                r.payload, name, s.mean_us, s.std_us, s.median_us, s.p95_us, s.p99_us, reads
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +334,18 @@ mod tests {
         let c = render_pmd_crossover(&experiments::pmd_crossover(params));
         assert!(c.contains("40000"));
         assert_eq!(c.lines().count(), 3 + 5);
+    }
+
+    #[test]
+    fn packed_renders() {
+        let params = ExperimentParams {
+            packets: 150,
+            seed: 29,
+            threads: 8,
+        };
+        let s = render_packed(&experiments::packed_ring(params));
+        assert!(s.contains("packed"));
+        assert_eq!(s.lines().count(), 3 + 10); // title + 2 header + 5×2 rows
     }
 
     #[test]

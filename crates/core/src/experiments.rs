@@ -15,6 +15,7 @@
 //! | [`noise_sweep`] | E11 — host-noise sensitivity |
 //! | [`pmd_tails`] | E15 — Fig. 3/Table I re-run with the `vf-pmd` poll-mode driver as a third series |
 //! | [`pmd_crossover`] | E16 — poll-vs-interrupt crossover: RTT and host CPU/packet vs offered load |
+//! | [`packed_ring`] | E17 — split vs packed virtqueue layout: RTT and device-side descriptor PCIe reads |
 //!
 //! Runs within a sweep are independent simulations and execute in
 //! parallel ([`vf_sim::parallel_map`]), one thread per configuration.
@@ -863,6 +864,62 @@ pub fn pmd_crossover(params: ExperimentParams) -> Vec<PmdCrossoverRow> {
         .collect()
 }
 
+/// One payload row of the E17 split-vs-packed ring comparison.
+pub struct PackedRow {
+    /// Payload size (bytes).
+    pub payload: usize,
+    /// Split-ring (VirtIO 1.0 three-area layout) round-trip summary.
+    pub split: Summary,
+    /// Packed-ring (VirtIO 1.2 one-area layout) round-trip summary.
+    pub packed: Summary,
+    /// Device-side descriptor/ring-metadata PCIe reads per round trip,
+    /// split layout (avail-index read + descriptor-table burst on TX,
+    /// then the same pair again on RX).
+    pub split_desc_reads_per_packet: f64,
+    /// The same count for the packed layout, where each descriptor
+    /// carries its own ownership flags: one TX chain burst + one RX
+    /// descriptor read.
+    pub packed_desc_reads_per_packet: f64,
+}
+
+/// E17: the VirtIO 1.2 *packed* virtqueue layout against the paper's
+/// split layout, same device and host stack otherwise. The packed ring
+/// merges the descriptor table and the availability signal into one
+/// 16-byte structure, so the device learns "a buffer is ready" and "here
+/// is the buffer" from a single PCIe read where the split layout needs
+/// two (avail ring, then descriptor table) — per transfer, per
+/// direction. The experiment counts those device-side reads and measures
+/// whether the saved bus transactions move the round-trip distribution.
+pub fn packed_ring(params: ExperimentParams) -> Vec<PackedRow> {
+    let mut configs = Vec::new();
+    for (i, &payload) in PAPER_PAYLOADS.iter().enumerate() {
+        let seed = params.seed.wrapping_mul(1000).wrapping_add(i as u64);
+        for driver in [DriverKind::Virtio, DriverKind::VirtioPacked] {
+            configs.push(TestbedConfig::paper(driver, payload, params.packets, seed));
+        }
+    }
+    let results = parallel_map(configs, params.threads, |cfg| {
+        Testbed::new(cfg.clone()).run()
+    });
+    PAPER_PAYLOADS
+        .iter()
+        .zip(results.chunks(2))
+        .map(|(&payload, pair)| {
+            let mut s = SampleSet::from_us(pair[0].total.raw().to_vec());
+            let mut p = SampleSet::from_us(pair[1].total.raw().to_vec());
+            PackedRow {
+                payload,
+                split: s.summary(),
+                packed: p.summary(),
+                split_desc_reads_per_packet: pair[0].desc_reads as f64
+                    / pair[0].packets.max(1) as f64,
+                packed_desc_reads_per_packet: pair[1].desc_reads as f64
+                    / pair[1].packets.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1084,6 +1141,33 @@ mod tests {
                 r.adaptive_cpu_us,
                 r.busy_cpu_us
             );
+        }
+    }
+
+    #[test]
+    fn packed_ring_halves_descriptor_reads() {
+        let rows = packed_ring(ExperimentParams {
+            packets: 500,
+            seed: 13,
+            threads: 8,
+        });
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            // The one-area layout fuses the availability signal into the
+            // descriptor: 2 device-side reads per round trip vs the split
+            // layout's 4 (avail + table, both directions).
+            assert!(
+                r.packed_desc_reads_per_packet < r.split_desc_reads_per_packet,
+                "{}B: packed {} vs split {} desc reads/pkt",
+                r.payload,
+                r.packed_desc_reads_per_packet,
+                r.split_desc_reads_per_packet
+            );
+            assert!((r.packed_desc_reads_per_packet - 2.0).abs() < 0.05);
+            assert!((r.split_desc_reads_per_packet - 4.0).abs() < 0.05);
+            // Same host stack, same device timing otherwise: the means
+            // stay in the same latency regime.
+            assert!((r.packed.mean_us - r.split.mean_us).abs() < 10.0);
         }
     }
 

@@ -18,6 +18,8 @@
 //! ```
 //!
 //! * [`calibration`] — every timing constant, anchored and documented;
+//! * [`driver_model`] — the generic harness every driver world plugs
+//!   into (the [`driver_model::DriverModel`] trait + [`driver_model::run_world`]);
 //! * [`testbed`] — the discrete-event worlds for both driver stacks;
 //! * [`pmd`] — the third contender: the `vf-pmd` userspace kernel-bypass
 //!   poll-mode driver world (E15/E16);
@@ -28,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod calibration;
+pub mod driver_model;
 pub mod experiments;
 pub mod pipeline;
 pub mod pmd;
@@ -35,6 +38,7 @@ pub mod report;
 pub mod testbed;
 
 pub use calibration::Calibration;
+pub use driver_model::{run_world, DriverModel, RoundTripRecorder, RunStats};
 pub use pipeline::{run_pipelined, xdma_serial_pps, ThroughputResult};
 pub use pmd::{run_pmd, PmdRun};
 pub use report::{render_breakdown, render_table1, RunResult};

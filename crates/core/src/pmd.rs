@@ -34,12 +34,13 @@ use vf_hostsw::{
 };
 use vf_pcie::{enumerate, HostMemory, MmioAllocator, PcieLink, MSI_ADDR_BASE};
 use vf_pmd::VirtioPmd;
-use vf_sim::{SimRng, Simulation, Time, World};
+use vf_sim::{SimRng, Time, World};
 use vf_virtio::net::VirtioNetConfig;
 use vf_virtio::{feature, net, DeviceType};
 
+use crate::driver_model::{run_world, DriverModel, RoundTripRecorder, RunStats};
 use crate::report::RunResult;
-use crate::testbed::{Recorder, TestbedConfig, Transport};
+use crate::testbed::{TestbedConfig, Transport};
 
 /// A PMD run: the standard result plus poll-economics telemetry.
 pub struct PmdRun {
@@ -82,7 +83,7 @@ struct PmdWorld {
     expected: Vec<u8>,
     /// When the application entered the RX poll loop.
     poll_start: Time,
-    rec: Recorder,
+    rec: RoundTripRecorder,
     adaptive_idle: Option<Time>,
     send_interval: Option<Time>,
     /// Absolute time of the last send (paced mode's clock edge).
@@ -164,7 +165,7 @@ impl PmdWorld {
             ip_id: 1,
             expected: Vec::new(),
             poll_start: Time::ZERO,
-            rec: Recorder::new(cfg.packets),
+            rec: RoundTripRecorder::new(cfg.packets),
             adaptive_idle: cfg.options.pmd_adaptive_idle,
             send_interval: cfg.options.pmd_send_interval,
             last_send: Time::ZERO,
@@ -185,12 +186,8 @@ impl PmdWorld {
                 self.cost.burn(threshold);
                 self.driver.arm_rx_interrupt(&mut self.mem);
                 let mut armed = self.poll_start + threshold;
-                armed += self.cost.step(self.cost.costs.syscall_entry);
-                armed += self.cost.step(self.cost.costs.block_schedule);
-                let mut t = done_at.max(armed) + self.cost.blocking_extra();
-                t += self.cost.step(self.cost.costs.hardirq_entry);
-                t += self.cost.step(self.cost.costs.wakeup_to_run);
-                t
+                armed += self.cost.block_in_syscall();
+                done_at.max(armed) + self.cost.irq_wake()
             }
             _ => {
                 // Busy path: completion is seen at the first used-index
@@ -311,36 +308,57 @@ impl World for PmdWorld {
     }
 }
 
+/// Poll-economics telemetry surfaced by [`PmdWorld::finish`] next to the
+/// standard result.
+struct PmdTelemetry {
+    cpu_us_per_packet: f64,
+    kcycles_per_packet: f64,
+    poll_peeks: u64,
+    irq_fallbacks: u64,
+    doorbells: u64,
+}
+
+impl DriverModel for PmdWorld {
+    type Telemetry = PmdTelemetry;
+
+    fn build(cfg: &TestbedConfig) -> Self {
+        PmdWorld::new(cfg)
+    }
+
+    fn initial_event() -> PmdEv {
+        PmdEv::AppSend
+    }
+
+    fn finish(self) -> (RoundTripRecorder, RunStats, PmdTelemetry) {
+        let stats = RunStats {
+            notifications: self.driver.stats.doorbells,
+            irqs: self.device.stats.irqs_sent,
+            desc_reads: self.device.stats.desc_reads,
+        };
+        let packets = self.rec.totals.len().max(1) as f64;
+        let cpu_us_per_packet = self.cost.total_cpu().as_us_f64() / packets;
+        let telemetry = PmdTelemetry {
+            cpu_us_per_packet,
+            kcycles_per_packet: cpu_us_per_packet * HOST_CPU_GHZ,
+            poll_peeks: self.cost.poll_peeks,
+            irq_fallbacks: self.driver.stats.irq_fallbacks,
+            doorbells: self.driver.stats.doorbells,
+        };
+        (self.rec, stats, telemetry)
+    }
+}
+
 /// Run one PMD configuration and return the result with poll telemetry.
 pub fn run_pmd(cfg: &TestbedConfig) -> PmdRun {
     assert_eq!(cfg.driver, crate::testbed::DriverKind::VirtioPmd);
-    let world = PmdWorld::new(cfg);
-    let mut sim = Simulation::new(world);
-    sim.schedule(Time::from_us(10), PmdEv::AppSend);
-    let outcome = sim.run(Time::from_secs(3600), 200_000_000);
-    assert_eq!(outcome, vf_sim::RunOutcome::Idle, "simulation wedged");
-    let w = sim.world;
-    assert_eq!(w.rec.packets_left, 0, "packets lost in flight");
-
-    let packets = w.rec.totals.len().max(1) as f64;
-    let cpu_us_per_packet = w.cost.total_cpu().as_us_f64() / packets;
-    let result = RunResult::from_parts(
-        cfg.clone(),
-        w.rec.totals,
-        w.rec.hw,
-        w.rec.sw,
-        w.rec.proc,
-        w.rec.verify_failures,
-        w.driver.stats.doorbells,
-        w.device.stats.irqs_sent,
-    );
+    let (result, tel) = run_world::<PmdWorld>(cfg);
     PmdRun {
         result,
-        cpu_us_per_packet,
-        kcycles_per_packet: cpu_us_per_packet * HOST_CPU_GHZ,
-        poll_peeks: w.cost.poll_peeks,
-        irq_fallbacks: w.driver.stats.irq_fallbacks,
-        doorbells: w.driver.stats.doorbells,
+        cpu_us_per_packet: tel.cpu_us_per_packet,
+        kcycles_per_packet: tel.kcycles_per_packet,
+        poll_peeks: tel.poll_peeks,
+        irq_fallbacks: tel.irq_fallbacks,
+        doorbells: tel.doorbells,
     }
 }
 

@@ -32,6 +32,9 @@ pub struct RunResult {
     pub notifications: u64,
     /// Interrupts the device raised.
     pub irqs: u64,
+    /// Device-side PCIe descriptor/ring-metadata reads (0 where the
+    /// engine does not track them).
+    pub desc_reads: u64,
 }
 
 impl RunResult {
@@ -46,6 +49,7 @@ impl RunResult {
         verify_failures: u64,
         notifications: u64,
         irqs: u64,
+        desc_reads: u64,
     ) -> Self {
         RunResult {
             driver: cfg.driver,
@@ -59,6 +63,7 @@ impl RunResult {
             verify_failures,
             notifications,
             irqs,
+            desc_reads,
         }
     }
 
@@ -162,6 +167,7 @@ mod tests {
             0,
             4,
             4,
+            16,
         )
     }
 

@@ -23,10 +23,10 @@ use vf_fpga::user_logic::{ConsoleEcho, UdpEcho, UserLogic};
 use vf_fpga::{bar0, Persona, VirtioFpgaDevice, XdmaExampleDesign};
 use vf_hostsw::{
     CostEngine, Ipv4Addr, MacAddr, SockError, UdpStack, VirtioConsoleDriver, VirtioNetDriver,
-    VirtioTransport, XdmaCharDriver,
+    VirtioPackedDriver, VirtioTransport, XdmaCharDriver,
 };
 use vf_pcie::{enumerate, HostMemory, MmioAllocator, PcieLink, MSI_ADDR_BASE};
-use vf_sim::{SampleSet, SimRng, Simulation, Time, World};
+use vf_sim::{SimRng, Time, World};
 use vf_virtio::block::VirtioBlkConfig;
 use vf_virtio::console::VirtioConsoleConfig;
 use vf_virtio::net::VirtioNetConfig;
@@ -34,6 +34,7 @@ use vf_virtio::{feature, net, DeviceType};
 use vf_xdma::ChannelDir;
 
 use crate::calibration::Calibration;
+use crate::driver_model::{run_world, DriverModel, RoundTripRecorder, RunStats};
 use crate::report::RunResult;
 
 /// Which device driver is under test.
@@ -47,6 +48,11 @@ pub enum DriverKind {
     /// VFIO-mapped BARs, permanent interrupt suppression, busy-poll
     /// RX/TX with batched ring operations.
     VirtioPmd,
+    /// In-kernel VirtIO driver over the VirtIO 1.2 *packed* virtqueue
+    /// layout (E17): same socket/NAPI stack as [`DriverKind::Virtio`],
+    /// but one descriptor ring per queue that the device fetches with
+    /// fewer PCIe reads.
+    VirtioPacked,
 }
 
 impl DriverKind {
@@ -56,6 +62,7 @@ impl DriverKind {
             DriverKind::Virtio => "VirtIO",
             DriverKind::Xdma => "XDMA",
             DriverKind::VirtioPmd => "VirtIO-PMD",
+            DriverKind::VirtioPacked => "VirtIO-packed",
         }
     }
 }
@@ -171,41 +178,6 @@ impl TestbedConfig {
     }
 }
 
-/// Per-run measurement accumulator.
-pub(crate) struct Recorder {
-    pub(crate) totals: SampleSet,
-    pub(crate) hw: SampleSet,
-    pub(crate) sw: SampleSet,
-    pub(crate) proc: SampleSet,
-    pub(crate) verify_failures: u64,
-    pub(crate) packets_left: usize,
-    pub(crate) t0: Time,
-}
-
-impl Recorder {
-    pub(crate) fn new(packets: usize) -> Self {
-        Recorder {
-            totals: SampleSet::with_capacity(packets),
-            hw: SampleSet::with_capacity(packets),
-            sw: SampleSet::with_capacity(packets),
-            proc: SampleSet::with_capacity(packets),
-            verify_failures: 0,
-            packets_left: packets,
-            t0: Time::ZERO,
-        }
-    }
-
-    pub(crate) fn record(&mut self, t_end: Time, hw: Time, proc: Time) {
-        // Host clock_gettime(CLOCK_MONOTONIC): 1 ns resolution.
-        let total = (t_end - self.t0).quantize(Time::from_ns(1));
-        self.totals.push(total);
-        self.hw.push(hw);
-        self.proc.push(proc);
-        self.sw.push(total.saturating_sub(hw).saturating_sub(proc));
-        self.packets_left -= 1;
-    }
-}
-
 // ---------------------------------------------------------------------
 // Shared VirtIO bring-up (used by the serial world here and the
 // pipelined world in `crate::pipeline`)
@@ -311,6 +283,7 @@ impl VirtioTransport for Transport<'_> {
 /// Front-end driver variants.
 enum FrontEnd {
     Net(Box<VirtioNetDriver>),
+    PackedNet(Box<VirtioPackedDriver>),
     Console(Box<VirtioConsoleDriver>),
 }
 
@@ -335,7 +308,7 @@ struct VirtioWorld {
     payload: usize,
     expected: Vec<u8>,
     cpu_free: Time,
-    rec: Recorder,
+    rec: RoundTripRecorder,
     fpga_ip: Ipv4Addr,
     src_port: u16,
 }
@@ -412,11 +385,24 @@ impl VirtioWorld {
                 if cfg.options.csum_offload {
                     want |= net::feature::CSUM | net::feature::GUEST_CSUM;
                 }
-                let driver = VirtioNetDriver::init(&mut mem, cfg.options.queue_size, want);
-                let out = vf_hostsw::probe(&mut Transport(&mut device), &driver, want)
-                    .expect("probe must succeed");
-                assert_eq!(out.mtu, 1500);
-                FrontEnd::Net(Box::new(driver))
+                if cfg.driver == DriverKind::VirtioPacked {
+                    // E17: one-ring packed layout. The packed front end
+                    // runs without EVENT_IDX — every TX publish rings
+                    // the doorbell — so that bit is never requested.
+                    want |= feature::RING_PACKED;
+                    want &= !feature::RING_EVENT_IDX;
+                    let driver = VirtioPackedDriver::init(&mut mem, cfg.options.queue_size, want);
+                    let out = vf_hostsw::probe_packed(&mut Transport(&mut device), &driver, want)
+                        .expect("packed probe must succeed");
+                    assert_eq!(out.mtu, 1500);
+                    FrontEnd::PackedNet(Box::new(driver))
+                } else {
+                    let driver = VirtioNetDriver::init(&mut mem, cfg.options.queue_size, want);
+                    let out = vf_hostsw::probe(&mut Transport(&mut device), &driver, want)
+                        .expect("probe must succeed");
+                    assert_eq!(out.mtu, 1500);
+                    FrontEnd::Net(Box::new(driver))
+                }
             }
             DeviceType::Rng => unreachable!("rng persona rejected above"),
             DeviceType::Console | DeviceType::Block => {
@@ -456,7 +442,7 @@ impl VirtioWorld {
             payload: cfg.payload,
             expected: Vec::new(),
             cpu_free: Time::ZERO,
-            rec: Recorder::new(cfg.packets),
+            rec: RoundTripRecorder::new(cfg.packets),
             fpga_ip,
             src_port: 40_000,
         }
@@ -465,6 +451,7 @@ impl VirtioWorld {
     fn csum_offload(&self) -> bool {
         match &self.front {
             FrontEnd::Net(d) => d.csum_offload(),
+            FrontEnd::PackedNet(d) => d.csum_offload(),
             FrontEnd::Console(_) => false,
         }
     }
@@ -554,6 +541,23 @@ impl World for VirtioWorld {
                         t += res.cpu;
                         res.notify
                     }
+                    FrontEnd::PackedNet(driver) => {
+                        let (frame, cpu) = self
+                            .stack
+                            .sendto(
+                                self.fpga_ip,
+                                self.src_port,
+                                Self::DST_PORT,
+                                &payload,
+                                offload,
+                                &mut self.cost,
+                            )
+                            .expect("send path configured");
+                        t += cpu;
+                        let res = driver.xmit(&mut self.mem, &frame, &mut self.cost);
+                        t += res.cpu;
+                        res.notify
+                    }
                     FrontEnd::Console(driver) => {
                         // hvc write: no network stack, just the syscall +
                         // tty layer + ring add.
@@ -576,9 +580,7 @@ impl World for VirtioWorld {
                     sched.at(arrival, VirtioEv::Doorbell(net::TX_QUEUE));
                 }
                 // sendto returns; the app immediately blocks in recvfrom.
-                t += self.cost.step(self.cost.costs.syscall_exit);
-                t += self.cost.step(self.cost.costs.syscall_entry);
-                t += self.cost.step(self.cost.costs.block_schedule);
+                t += self.cost.send_return_then_block();
                 self.cpu_free = t;
             }
             VirtioEv::Doorbell(queue) => {
@@ -601,37 +603,44 @@ impl World for VirtioWorld {
             VirtioEv::RxIrq => {
                 // Hardirq may only run once the CPU is available; on this
                 // quiesced host the app has long since blocked.
-                let mut t = now.max(self.cpu_free) + self.cost.blocking_extra();
-                t += self.cost.step(self.cost.costs.hardirq_entry);
-                t += self.cost.step(self.cost.costs.softirq_latency);
+                let mut t = now.max(self.cpu_free) + self.cost.irq_to_napi();
                 let mut delivered_payload: Option<Vec<u8>> = None;
-                match &mut self.front {
+                // Harvest frames from the ring (layout-specific), then
+                // run the shared netif_receive path over them.
+                let frames = match &mut self.front {
                     FrontEnd::Net(driver) => {
                         let (frames, cpu) = driver.napi_poll(&mut self.mem, &mut self.cost);
                         t += cpu;
-                        for rx in frames {
-                            let validated = rx.hdr.flags & vf_virtio::net::HDR_F_DATA_VALID != 0;
-                            match self.stack.netif_receive(
-                                &rx.frame,
-                                self.src_port,
-                                validated,
-                                &mut self.cost,
-                            ) {
-                                Ok((parsed, cpu)) => {
-                                    t += cpu;
-                                    delivered_payload = Some(parsed.payload);
-                                }
-                                Err(SockError::BadChecksum) => {
-                                    self.rec.verify_failures += 1;
-                                }
-                                Err(e) => panic!("receive path failed: {e:?}"),
-                            }
-                        }
+                        frames
+                    }
+                    FrontEnd::PackedNet(driver) => {
+                        let (frames, cpu) = driver.napi_poll(&mut self.mem, &mut self.cost);
+                        t += cpu;
+                        frames
                     }
                     FrontEnd::Console(driver) => {
-                        let (frames, cpu) = driver.poll_rx(&mut self.mem, &mut self.cost);
+                        let (lines, cpu) = driver.poll_rx(&mut self.mem, &mut self.cost);
                         t += cpu;
-                        delivered_payload = frames.into_iter().next_back();
+                        delivered_payload = lines.into_iter().next_back();
+                        Vec::new()
+                    }
+                };
+                for rx in frames {
+                    let validated = rx.hdr.flags & vf_virtio::net::HDR_F_DATA_VALID != 0;
+                    match self.stack.netif_receive(
+                        &rx.frame,
+                        self.src_port,
+                        validated,
+                        &mut self.cost,
+                    ) {
+                        Ok((parsed, cpu)) => {
+                            t += cpu;
+                            delivered_payload = Some(parsed.payload);
+                        }
+                        Err(SockError::BadChecksum) => {
+                            self.rec.verify_failures += 1;
+                        }
+                        Err(e) => panic!("receive path failed: {e:?}"),
                     }
                 }
                 t += self.cost.step(self.cost.costs.wakeup_to_run);
@@ -652,6 +661,27 @@ impl World for VirtioWorld {
                 }
             }
         }
+    }
+}
+
+impl DriverModel for VirtioWorld {
+    type Telemetry = ();
+
+    fn build(cfg: &TestbedConfig) -> Self {
+        VirtioWorld::new(cfg)
+    }
+
+    fn initial_event() -> VirtioEv {
+        VirtioEv::AppSend
+    }
+
+    fn finish(self) -> (RoundTripRecorder, RunStats, ()) {
+        let stats = RunStats {
+            notifications: self.device.stats.notifications,
+            irqs: self.device.stats.irqs_sent,
+            desc_reads: self.device.stats.desc_reads,
+        };
+        (self.rec, stats, ())
     }
 }
 
@@ -689,7 +719,7 @@ struct XdmaWorld {
     card_addr: u64,
     expected: Vec<u8>,
     cpu_free: Time,
-    rec: Recorder,
+    rec: RoundTripRecorder,
     wait_device_irq: bool,
     /// E13: paravirtualization overlay costs active.
     vhost: bool,
@@ -751,7 +781,7 @@ impl XdmaWorld {
             card_addr: 0x100,
             expected: Vec::new(),
             cpu_free: Time::ZERO,
-            rec: Recorder::new(cfg.packets),
+            rec: RoundTripRecorder::new(cfg.packets),
             // The vhost worker must learn when response data is ready, so
             // the overlay implies the data-ready interrupt.
             wait_device_irq: cfg.options.xdma_wait_device_irq || cfg.options.vhost_overlay,
@@ -781,8 +811,7 @@ impl XdmaWorld {
     /// register read (CPU stalls a full MMIO round trip), ack write,
     /// handler body, wakeup.
     fn service_irq(&mut self, now: Time, dir: ChannelDir) -> Time {
-        let mut t = now.max(self.cpu_free) + self.cost.blocking_extra();
-        t += self.cost.step(self.cost.costs.hardirq_entry);
+        let mut t = now.max(self.cpu_free) + self.cost.irq_entry();
         // ISR reads the channel status register (read-to-clear).
         let status_off = match dir {
             ChannelDir::H2C => vf_xdma::regs::target::H2C + vf_xdma::regs::chan::STATUS_RC,
@@ -849,12 +878,7 @@ impl World for XdmaWorld {
                     // builds the packet and kicks; the host-side back-end
                     // worker wakes, copies the frame out of the guest
                     // buffers, and only then drives the legacy driver.
-                    t += self.cost.step(self.cost.costs.syscall_entry);
-                    t += self.cost.step(self.cost.costs.udp_tx_path);
-                    t += self.cost.step(self.cost.costs.virtio_xmit);
-                    t += self.cost.step(self.cost.costs.vmexit_kick);
-                    t += self.cost.step(self.cost.costs.wakeup_to_run); // worker
-                    t += self.cost.copy_user(self.transfer_len as usize);
+                    t += self.cost.vhost_tx_overlay(self.transfer_len as usize);
                 }
 
                 // write(): syscall entry, pin/map, descriptors, program.
@@ -906,8 +930,7 @@ impl World for XdmaWorld {
                             // Real use case: poll() for the data-ready
                             // interrupt before read().
                             let mut t = t;
-                            t += self.cost.step(self.cost.costs.syscall_entry);
-                            t += self.cost.step(self.cost.costs.block_schedule);
+                            t += self.cost.block_in_syscall();
                             self.cpu_free = t;
                         } else {
                             // Paper setup (§IV-C): read() back-to-back.
@@ -921,14 +944,7 @@ impl World for XdmaWorld {
                             // Back-end worker copies into the guest RX
                             // buffer, injects the interrupt, and the
                             // guest's stack delivers to the application.
-                            t += self.cost.copy_user(self.transfer_len as usize);
-                            t += self.cost.step(self.cost.costs.irq_inject);
-                            t += self.cost.step(self.cost.costs.hardirq_entry);
-                            t += self.cost.step(self.cost.costs.softirq_latency);
-                            t += self.cost.step(self.cost.costs.virtio_napi_rx);
-                            t += self.cost.step(self.cost.costs.udp_rx_path);
-                            t += self.cost.step(self.cost.costs.wakeup_to_run);
-                            t += self.cost.step(self.cost.costs.syscall_exit);
+                            t += self.cost.vhost_rx_overlay(self.transfer_len as usize);
                         }
                         // Verify the echoed buffer.
                         let got = self
@@ -951,13 +967,35 @@ impl World for XdmaWorld {
             }
             XdmaEv::UserIrq => {
                 // poll() wakes: hardirq + wakeup + syscall exit, then read().
-                let mut t = now.max(self.cpu_free) + self.cost.blocking_extra();
-                t += self.cost.step(self.cost.costs.hardirq_entry);
-                t += self.cost.step(self.cost.costs.wakeup_to_run);
+                let mut t = now.max(self.cpu_free) + self.cost.irq_wake();
                 t += self.cost.step(self.cost.costs.syscall_exit);
                 self.start_read(t, sched);
             }
         }
+    }
+}
+
+impl DriverModel for XdmaWorld {
+    type Telemetry = ();
+
+    fn build(cfg: &TestbedConfig) -> Self {
+        XdmaWorld::new(cfg)
+    }
+
+    fn initial_event() -> XdmaEv {
+        XdmaEv::AppSend
+    }
+
+    fn finish(self) -> (RoundTripRecorder, RunStats, ()) {
+        let stats = RunStats {
+            notifications: self.driver.transfers[0] + self.driver.transfers[1],
+            irqs: self.design.msix.fired,
+            // The XDMA engine fetches its descriptors from host memory
+            // too, but that cost is folded into the engine's run model
+            // and not counted as ring-metadata reads.
+            desc_reads: 0,
+        };
+        (self.rec, stats, ())
     }
 }
 
@@ -977,49 +1015,14 @@ impl Testbed {
     }
 
     /// Run the configured number of round trips and collect the result.
+    ///
+    /// Pure dispatch: every driver goes through the same generic
+    /// [`run_world`] harness — only the world type differs.
     pub fn run(self) -> RunResult {
-        let cfg = self.cfg;
-        match cfg.driver {
-            DriverKind::Virtio => {
-                let world = VirtioWorld::new(&cfg);
-                let mut sim = Simulation::new(world);
-                sim.schedule(Time::from_us(10), VirtioEv::AppSend);
-                let outcome = sim.run(Time::from_secs(3600), 200_000_000);
-                assert_eq!(outcome, vf_sim::RunOutcome::Idle, "simulation wedged");
-                let w = sim.world;
-                assert_eq!(w.rec.packets_left, 0, "packets lost in flight");
-                RunResult::from_parts(
-                    cfg,
-                    w.rec.totals,
-                    w.rec.hw,
-                    w.rec.sw,
-                    w.rec.proc,
-                    w.rec.verify_failures,
-                    w.device.stats.notifications,
-                    w.device.stats.irqs_sent,
-                )
-            }
-            DriverKind::VirtioPmd => crate::pmd::run_pmd(&cfg).result,
-            DriverKind::Xdma => {
-                let world = XdmaWorld::new(&cfg);
-                let mut sim = Simulation::new(world);
-                sim.schedule(Time::from_us(10), XdmaEv::AppSend);
-                let outcome = sim.run(Time::from_secs(3600), 200_000_000);
-                assert_eq!(outcome, vf_sim::RunOutcome::Idle, "simulation wedged");
-                let w = sim.world;
-                assert_eq!(w.rec.packets_left, 0, "packets lost in flight");
-                let irqs = w.design.msix.fired;
-                RunResult::from_parts(
-                    cfg,
-                    w.rec.totals,
-                    w.rec.hw,
-                    w.rec.sw,
-                    w.rec.proc,
-                    w.rec.verify_failures,
-                    w.driver.transfers[0] + w.driver.transfers[1],
-                    irqs,
-                )
-            }
+        match self.cfg.driver {
+            DriverKind::Virtio | DriverKind::VirtioPacked => run_world::<VirtioWorld>(&self.cfg).0,
+            DriverKind::VirtioPmd => crate::pmd::run_pmd(&self.cfg).result,
+            DriverKind::Xdma => run_world::<XdmaWorld>(&self.cfg).0,
         }
     }
 }

@@ -33,6 +33,7 @@ use vf_virtio::console::VirtioConsoleConfig;
 use vf_virtio::net::{
     internet_checksum, VirtioNetConfig, VirtioNetHdr, HDR_F_DATA_VALID, HDR_F_NEEDS_CSUM,
 };
+use vf_virtio::packed::{PackedDesc, PackedDeviceQueue};
 use vf_virtio::pci::CfgEvent;
 use vf_virtio::rng::EntropySource;
 use vf_virtio::{feature, net, CommonCfg, DeviceQueue, DeviceType, GuestMemory, IsrStatus};
@@ -203,6 +204,10 @@ pub struct DeviceStats {
     pub csum_offloads: u64,
     /// MSI-X messages sent.
     pub irqs_sent: u64,
+    /// PCIe reads spent fetching descriptor/ring metadata (avail index,
+    /// ring entries, descriptor tables) — payload reads excluded. The
+    /// split-vs-packed structural metric of experiment E17.
+    pub desc_reads: u64,
     /// Block requests served.
     pub blk_requests: u64,
 }
@@ -221,6 +226,10 @@ pub struct VirtioFpgaDevice {
     pub persona: Persona,
     /// Device-side queues, created as the driver enables them.
     queues: Vec<Option<DeviceQueue>>,
+    /// Packed-ring device-side queues: a queue lives in exactly one of
+    /// `queues`/`packed_queues`, decided by the negotiated `RING_PACKED`
+    /// bit when the driver enables it (E17).
+    packed_queues: Vec<Option<PackedDeviceQueue>>,
     /// Attached user logic.
     pub logic: Box<dyn UserLogic>,
     /// Frame staging memory (BRAM by default; DDR for the E14 ablation).
@@ -256,6 +265,7 @@ impl VirtioFpgaDevice {
         let features = feature::VERSION_1
             | feature::RING_EVENT_IDX
             | feature::RING_INDIRECT_DESC
+            | feature::RING_PACKED
             | extra_features;
         let (base, sub, prog) = dt.class_code();
         let vectors = (queue_sizes.len() + 1).max(2) as u16;
@@ -317,6 +327,7 @@ impl VirtioFpgaDevice {
             msix: MsixTable::new(vectors as usize),
             persona,
             queues: queue_sizes.iter().map(|_| None).collect(),
+            packed_queues: queue_sizes.iter().map(|_| None).collect(),
             logic,
             staging: CardStore::Bram(Bram::new(256 * 1024)),
             timing: ControllerTiming::default(),
@@ -344,6 +355,14 @@ impl VirtioFpgaDevice {
     /// The device-side queue `n` (panics if not yet enabled).
     pub fn queue(&mut self, n: u16) -> &mut DeviceQueue {
         self.queues[n as usize].as_mut().expect("queue not enabled")
+    }
+
+    /// The packed device-side queue `n` (panics if not enabled as
+    /// packed).
+    pub fn packed_queue(&mut self, n: u16) -> &mut PackedDeviceQueue {
+        self.packed_queues[n as usize]
+            .as_mut()
+            .expect("packed queue not enabled")
     }
 
     /// BAR0 MMIO read.
@@ -375,17 +394,26 @@ impl VirtioFpgaDevice {
             o if o < bar0::NOTIFY => {
                 match self.common.write(o - bar0::COMMON, len, val) {
                     Ok(Some(CfgEvent::QueueEnabled(n))) => {
+                        let negotiated = self.common.negotiation.negotiated();
                         let regs = self.common.queue(n);
-                        let event_idx =
-                            self.common.negotiation.negotiated() & feature::RING_EVENT_IDX != 0;
-                        let indirect =
-                            self.common.negotiation.negotiated() & feature::RING_INDIRECT_DESC != 0;
-                        self.queues[n as usize] =
-                            Some(DeviceQueue::new(regs.layout(), event_idx, indirect));
+                        if negotiated & feature::RING_PACKED != 0 {
+                            self.packed_queues[n as usize] =
+                                Some(PackedDeviceQueue::new(regs.desc, regs.size));
+                            self.queues[n as usize] = None;
+                        } else {
+                            let event_idx = negotiated & feature::RING_EVENT_IDX != 0;
+                            let indirect = negotiated & feature::RING_INDIRECT_DESC != 0;
+                            self.queues[n as usize] =
+                                Some(DeviceQueue::new(regs.layout(), event_idx, indirect));
+                            self.packed_queues[n as usize] = None;
+                        }
                         Some(MmioEvent::QueueEnabled(n))
                     }
                     Ok(Some(CfgEvent::Reset)) => {
                         for q in &mut self.queues {
+                            *q = None;
+                        }
+                        for q in &mut self.packed_queues {
                             *q = None;
                         }
                         Some(MmioEvent::Reset)
@@ -460,6 +488,9 @@ impl VirtioFpgaDevice {
         mem: &mut HostMemory,
         link: &mut PcieLink,
     ) -> TxOutcome {
+        if self.packed_queues[tx_queue as usize].is_some() {
+            return self.process_tx_notify_packed(arrival, tx_queue, mem, link);
+        }
         let hdr_len = self.persona.hdr_len();
         let csum_feature = matches!(self.persona, Persona::Net { .. })
             && self.features() & net::feature::CSUM != 0;
@@ -478,6 +509,7 @@ impl VirtioFpgaDevice {
         let avail_idx = q.fetch_avail_idx(mem);
         let pending = avail_idx.wrapping_sub(q.last_avail()) as usize;
         t = link.dma_read(t, layout.avail_idx_addr(), (2 + 2 * pending).min(64));
+        self.stats.desc_reads += 1;
         let mut outcome = TxOutcome::default();
         let mut staged: Vec<(Vec<u8>, Option<VirtioNetHdr>)> = Vec::new();
 
@@ -490,6 +522,7 @@ impl VirtioFpgaDevice {
                 .resolve_at(mem, pos)
                 .expect("driver published a corrupt chain");
             t = link.dma_read(t, layout.desc_addr(chain.head), 16 * fetches);
+            self.stats.desc_reads += 1;
             t += timing.per_desc * fetches as u64;
             // Payload DMA: read the readable buffers into BRAM, merging
             // physically adjacent buffers into single bursts (virtio-net
@@ -540,7 +573,22 @@ impl VirtioFpgaDevice {
         }
         self.counters.h2c.stop(t);
 
-        // User logic pass (measured separately, deducted by the harness).
+        t = self.user_logic_pass(t, staged, csum_feature, &mut outcome);
+        outcome.done_at = t;
+        outcome
+    }
+
+    /// User logic pass over staged TX frames (measured separately by the
+    /// `processing` counter and deducted by the harness per §IV-B).
+    /// Shared by the split- and packed-ring TX paths — ring layout is
+    /// invisible past the staging BRAM.
+    fn user_logic_pass(
+        &mut self,
+        mut t: Time,
+        staged: Vec<(Vec<u8>, Option<VirtioNetHdr>)>,
+        csum_feature: bool,
+        outcome: &mut TxOutcome,
+    ) -> Time {
         for (mut frame, hdr) in staged {
             let proc_start = t;
             self.counters.processing.start(proc_start);
@@ -580,6 +628,88 @@ impl VirtioFpgaDevice {
                 });
             }
         }
+        t
+    }
+
+    /// Packed-ring TX path (E17): the availability flag rides inside the
+    /// descriptor itself, so the controller issues **one** descriptor
+    /// burst per chain — a 64-byte read covers the whole short chain plus
+    /// the look-ahead slot whose stale AVAIL phase terminates the walk —
+    /// against the split ring's avail-index read *and* table fetch. One
+    /// 16-byte used-descriptor write completes a chain (split: 8-byte
+    /// used entry + 2-byte index). The packed net front end runs without
+    /// `RING_EVENT_IDX` and leaves TX interrupts disabled, so this path
+    /// never fires the TX vector.
+    fn process_tx_notify_packed(
+        &mut self,
+        arrival: Time,
+        tx_queue: u16,
+        mem: &mut HostMemory,
+        link: &mut PcieLink,
+    ) -> TxOutcome {
+        let hdr_len = self.persona.hdr_len();
+        let csum_feature = matches!(self.persona, Persona::Net { .. })
+            && self.features() & net::feature::CSUM != 0;
+        let timing = self.timing;
+
+        let mut t = arrival + timing.notify_decode;
+        self.counters.h2c.start(arrival);
+        let mut outcome = TxOutcome::default();
+        let mut staged: Vec<(Vec<u8>, Option<VirtioNetHdr>)> = Vec::new();
+
+        loop {
+            let q = self.packed_queues[tx_queue as usize]
+                .as_mut()
+                .expect("TX queue not enabled");
+            let fetch_slot = q.next_slot();
+            let Some(chain) = q.try_take(mem) else { break };
+            t = link.dma_read(t, q.desc_addr(fetch_slot), 64);
+            self.stats.desc_reads += 1;
+            t += timing.per_desc * chain.bufs.len() as u64;
+            // Payload DMA into BRAM, merging physically adjacent readable
+            // buffers into single bursts (same RTL as the split path).
+            let mut data = Vec::new();
+            let mut bursts: Vec<(u64, usize)> = Vec::new();
+            for &(addr, len, writable) in &chain.bufs {
+                if writable {
+                    continue;
+                }
+                data.extend_from_slice(mem.slice(addr, len as usize));
+                match bursts.last_mut() {
+                    Some((start, blen)) if *start + *blen as u64 == addr => {
+                        *blen += len as usize;
+                    }
+                    _ => bursts.push((addr, len as usize)),
+                }
+            }
+            for (addr, len) in bursts {
+                t = link.dma_read(t, addr, len);
+            }
+            CardMemory::write(&mut self.staging, 0, &data);
+            t += self.staging.access_time(data.len());
+            // Complete: flip the head descriptor to used — a single
+            // 16-byte posted write.
+            let start_slot = chain.start_slot;
+            q.complete(mem, &chain, 0);
+            let used_addr = q.desc_addr(start_slot);
+            t = link.dma_write(t, used_addr, PackedDesc::SIZE as usize);
+            outcome.chains += 1;
+            self.stats.tx_chains += 1;
+
+            // Split off the device-type header.
+            let (hdr, frame) = if hdr_len > 0 && data.len() >= hdr_len {
+                (
+                    Some(VirtioNetHdr::from_bytes(&data[..hdr_len])),
+                    data[hdr_len..].to_vec(),
+                )
+            } else {
+                (None, data)
+            };
+            staged.push((frame, hdr));
+        }
+        self.counters.h2c.stop(t);
+
+        t = self.user_logic_pass(t, staged, csum_feature, &mut outcome);
         outcome.done_at = t;
         outcome
     }
@@ -597,6 +727,9 @@ impl VirtioFpgaDevice {
         mem: &mut HostMemory,
         link: &mut PcieLink,
     ) -> RxOutcome {
+        if self.packed_queues[rx_queue as usize].is_some() {
+            return self.deliver_response_packed(ready_at, rx_queue, response, mem, link);
+        }
         let hdr_len = self.persona.hdr_len();
         let guest_csum = matches!(self.persona, Persona::Net { .. })
             && self.features() & net::feature::GUEST_CSUM != 0;
@@ -612,6 +745,7 @@ impl VirtioFpgaDevice {
         // Check for a posted RX buffer: one burst covers the avail index
         // and the next ring entry.
         t = link.dma_read(t, layout.avail_idx_addr(), 8);
+        self.stats.desc_reads += 1;
         if q.pending(mem) == 0 {
             self.stats.rx_dropped += 1;
             let _ = self.counters.c2h.stop(t);
@@ -624,6 +758,7 @@ impl VirtioFpgaDevice {
         let pos = q.last_avail();
         let (chain, fetches) = q.resolve_at(mem, pos).expect("corrupt RX chain");
         t = link.dma_read(t, layout.desc_addr(chain.head), 16 * fetches);
+        self.stats.desc_reads += 1;
         t += timing.per_desc * fetches as u64;
         q.advance();
 
@@ -672,6 +807,91 @@ impl VirtioFpgaDevice {
         }
     }
 
+    /// Packed-ring RX path (E17): one 16-byte descriptor read tells the
+    /// controller both *whether* a buffer is available (the AVAIL/USED
+    /// phase bits ride in the descriptor) and *where* it is — the split
+    /// ring needs an avail-index read plus a descriptor-table fetch for
+    /// the same answer. Completion is again a single 16-byte write. The
+    /// packed front end runs without `RING_EVENT_IDX`, so the RX vector
+    /// always fires.
+    fn deliver_response_packed(
+        &mut self,
+        ready_at: Time,
+        rx_queue: u16,
+        response: &PendingResponse,
+        mem: &mut HostMemory,
+        link: &mut PcieLink,
+    ) -> RxOutcome {
+        let hdr_len = self.persona.hdr_len();
+        let guest_csum = matches!(self.persona, Persona::Net { .. })
+            && self.features() & net::feature::GUEST_CSUM != 0;
+        let timing = self.timing;
+
+        self.counters.c2h.start(ready_at);
+        let mut t = ready_at + timing.fsm_step;
+
+        let q = self.packed_queues[rx_queue as usize]
+            .as_mut()
+            .expect("RX queue not enabled");
+        let fetch_slot = q.next_slot();
+        t = link.dma_read(t, q.desc_addr(fetch_slot), PackedDesc::SIZE as usize);
+        self.stats.desc_reads += 1;
+        let Some(chain) = q.try_take(mem) else {
+            self.stats.rx_dropped += 1;
+            let _ = self.counters.c2h.stop(t);
+            return RxOutcome {
+                irq_at: None,
+                done_at: t,
+                delivered: false,
+            };
+        };
+        t += timing.per_desc;
+
+        // Write header + data into the (single) writable buffer.
+        let (buf_addr, buf_len, writable) = chain.bufs[0];
+        assert!(writable, "RX chain must be device-writable");
+        let total = hdr_len + response.data.len();
+        assert!(total as u32 <= buf_len, "RX buffer too small");
+        if hdr_len > 0 {
+            let hdr = VirtioNetHdr {
+                flags: if response.csum_valid || guest_csum {
+                    HDR_F_DATA_VALID
+                } else {
+                    0
+                },
+                num_buffers: 1,
+                ..Default::default()
+            };
+            hdr.write_to(mem, buf_addr);
+        }
+        GuestMemory::write(mem, buf_addr + hdr_len as u64, &response.data);
+        t += self.staging.access_time(response.data.len());
+        t = link.dma_write(t, buf_addr, total);
+
+        // Single used-descriptor write back at the chain's start slot.
+        let start_slot = chain.start_slot;
+        q.complete(mem, &chain, total as u32);
+        let used_addr = q.desc_addr(start_slot);
+        t = link.dma_write(t, used_addr, PackedDesc::SIZE as usize);
+
+        // Interrupt — unconditional: no EVENT_IDX suppression on the
+        // packed front end.
+        let mut irq_at = None;
+        if let Some((_addr, _data)) = self.msix.fire(rx_queue as usize) {
+            let at = link.msix_write(t);
+            irq_at = Some(at);
+            self.stats.irqs_sent += 1;
+            t = at;
+        }
+        let _ = self.counters.c2h.stop(t);
+        self.stats.rx_frames += 1;
+        RxOutcome {
+            irq_at,
+            done_at: t,
+            delivered: true,
+        }
+    }
+
     /// Process a doorbell on a block-device request queue: parse each
     /// request chain, execute it against the persona's disk, write data +
     /// status back, complete, and interrupt.
@@ -689,15 +909,18 @@ impl VirtioFpgaDevice {
         let layout = *q.layout();
         let mut t = arrival + timing.notify_decode;
         t = link.dma_read(t, layout.avail_idx_addr(), 2);
+        self.stats.desc_reads += 1;
         let avail_idx = q.fetch_avail_idx(mem);
         let mut irq_at = None;
         let mut any = false;
         while q.last_avail() != avail_idx {
             let pos = q.last_avail();
             t = link.dma_read(t, layout.avail_ring_addr(pos % layout.size), 2);
+            self.stats.desc_reads += 1;
             let (chain, fetches) = q.resolve_at(mem, pos).expect("corrupt block chain");
             for _ in 0..fetches {
                 t = link.dma_read(t, layout.desc_addr(chain.head), 16);
+                self.stats.desc_reads += 1;
             }
             t += timing.per_desc * fetches as u64;
             q.advance();
@@ -756,12 +979,14 @@ impl VirtioFpgaDevice {
         let avail_idx = q.fetch_avail_idx(mem);
         let pending = avail_idx.wrapping_sub(q.last_avail()) as usize;
         t = link.dma_read(t, layout.avail_idx_addr(), (2 + 2 * pending).min(64));
+        self.stats.desc_reads += 1;
         let mut irq_at = None;
         let mut any = false;
         while q.last_avail() != avail_idx {
             let pos = q.last_avail();
             let (chain, fetches) = q.resolve_at(mem, pos).expect("corrupt rng chain");
             t = link.dma_read(t, layout.desc_addr(chain.head), 16 * fetches);
+            self.stats.desc_reads += 1;
             t += timing.per_desc * fetches as u64;
             q.advance();
             let Persona::Rng { src } = &mut self.persona else {

@@ -221,6 +221,82 @@ impl CostEngine {
         self.total_charged + self.poll_cpu_burnt
     }
 
+    // ----- Named cost paths -------------------------------------------
+    //
+    // Multi-step software sequences shared by the driver models. Each
+    // path draws from the RNG in a fixed documented order, so a model
+    // swapping an inline `step(...)` chain for the named path is
+    // bit-identical. Paths only bundle steps with no interleaved link
+    // (wire) time — a wire round trip in the middle forces the caller
+    // back to individual `step()` calls.
+
+    /// Interrupt delivery up to NAPI poll start: blocking-wait noise +
+    /// hardirq entry + softirq (NAPI schedule → poll) latency. The
+    /// virtio kernel drivers' RX entry sequence.
+    pub fn irq_to_napi(&mut self) -> Time {
+        self.blocking_extra()
+            + self.step(self.costs.hardirq_entry)
+            + self.step(self.costs.softirq_latency)
+    }
+
+    /// Interrupt delivery to handler start only: blocking-wait noise +
+    /// hardirq entry. Used when the handler's first act is an MMIO read
+    /// (a wire stall the link model prices), as in the XDMA ISR.
+    pub fn irq_entry(&mut self) -> Time {
+        self.blocking_extra() + self.step(self.costs.hardirq_entry)
+    }
+
+    /// Interrupt that wakes a blocked task: blocking-wait noise +
+    /// hardirq entry + wakeup-to-run. The "interrupt as a doorbell for a
+    /// sleeper" pattern (XDMA user IRQ, PMD adaptive fallback).
+    pub fn irq_wake(&mut self) -> Time {
+        self.blocking_extra()
+            + self.step(self.costs.hardirq_entry)
+            + self.step(self.costs.wakeup_to_run)
+    }
+
+    /// Enter the kernel and block: syscall entry + schedule-out. The
+    /// "wait for completion" half of every blocking read.
+    pub fn block_in_syscall(&mut self) -> Time {
+        self.step(self.costs.syscall_entry) + self.step(self.costs.block_schedule)
+    }
+
+    /// Return from a send and immediately block in the paired receive:
+    /// syscall exit + syscall entry + schedule-out. The request-response
+    /// application's inter-syscall pivot.
+    pub fn send_return_then_block(&mut self) -> Time {
+        self.step(self.costs.syscall_exit)
+            + self.step(self.costs.syscall_entry)
+            + self.step(self.costs.block_schedule)
+    }
+
+    /// Paravirtualization overlay, transmit side: the guest's syscall +
+    /// UDP stack + virtio-net xmit + vmexit kick + host worker wakeup +
+    /// guest→host copy of `bytes`. Charged on top of the host driver's
+    /// own path when a workload runs inside a VM (E13).
+    pub fn vhost_tx_overlay(&mut self, bytes: usize) -> Time {
+        self.step(self.costs.syscall_entry)
+            + self.step(self.costs.udp_tx_path)
+            + self.step(self.costs.virtio_xmit)
+            + self.step(self.costs.vmexit_kick)
+            + self.step(self.costs.wakeup_to_run)
+            + self.copy_user(bytes)
+    }
+
+    /// Paravirtualization overlay, receive side: host→guest copy of
+    /// `bytes` + interrupt injection + the guest's hardirq/softirq/NAPI
+    /// path + guest UDP receive + app wakeup + syscall exit.
+    pub fn vhost_rx_overlay(&mut self, bytes: usize) -> Time {
+        self.copy_user(bytes)
+            + self.step(self.costs.irq_inject)
+            + self.step(self.costs.hardirq_entry)
+            + self.step(self.costs.softirq_latency)
+            + self.step(self.costs.virtio_napi_rx)
+            + self.step(self.costs.udp_rx_path)
+            + self.step(self.costs.wakeup_to_run)
+            + self.step(self.costs.syscall_exit)
+    }
+
     /// Borrow the RNG stream (workload payload generation, ip_id, ...).
     pub fn rng(&mut self) -> &mut SimRng {
         &mut self.rng
@@ -361,6 +437,60 @@ mod tests {
             assert!(t >= Time::from_ns(10) && t < Time::from_ns(500), "{t}");
         }
         const { assert!(HOST_CPU_GHZ > 1.0 && HOST_CPU_GHZ < 10.0) };
+    }
+
+    #[test]
+    fn cost_paths_match_inline_chains_bit_for_bit() {
+        // The named paths exist so the driver models can share one
+        // vocabulary *without* perturbing the RNG stream: each must draw
+        // noise in exactly the order the inline chain it replaced did.
+        let mut a = engine(true);
+        let mut b = engine(true);
+        let c = HostCosts::fedora37();
+
+        let path = a.irq_to_napi();
+        let inline = b.blocking_extra() + b.step(c.hardirq_entry) + b.step(c.softirq_latency);
+        assert_eq!(path, inline);
+
+        let path = a.irq_entry();
+        let inline = b.blocking_extra() + b.step(c.hardirq_entry);
+        assert_eq!(path, inline);
+
+        let path = a.irq_wake();
+        let inline = b.blocking_extra() + b.step(c.hardirq_entry) + b.step(c.wakeup_to_run);
+        assert_eq!(path, inline);
+
+        let path = a.block_in_syscall();
+        let inline = b.step(c.syscall_entry) + b.step(c.block_schedule);
+        assert_eq!(path, inline);
+
+        let path = a.send_return_then_block();
+        let inline = b.step(c.syscall_exit) + b.step(c.syscall_entry) + b.step(c.block_schedule);
+        assert_eq!(path, inline);
+
+        let path = a.vhost_tx_overlay(256);
+        let inline = b.step(c.syscall_entry)
+            + b.step(c.udp_tx_path)
+            + b.step(c.virtio_xmit)
+            + b.step(c.vmexit_kick)
+            + b.step(c.wakeup_to_run)
+            + b.copy_user(256);
+        assert_eq!(path, inline);
+
+        let path = a.vhost_rx_overlay(256);
+        let inline = b.copy_user(256)
+            + b.step(c.irq_inject)
+            + b.step(c.hardirq_entry)
+            + b.step(c.softirq_latency)
+            + b.step(c.virtio_napi_rx)
+            + b.step(c.udp_rx_path)
+            + b.step(c.wakeup_to_run)
+            + b.step(c.syscall_exit);
+        assert_eq!(path, inline);
+
+        // Same number of RNG draws overall → streams stay in lockstep.
+        assert_eq!(a.steps_charged, b.steps_charged);
+        assert_eq!(a.total_charged, b.total_charged);
     }
 
     #[test]

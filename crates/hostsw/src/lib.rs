@@ -11,6 +11,8 @@
 //! * [`virtio_net`] — the in-kernel virtio-pci/virtio-net front-end
 //!   driver (probe sequence, xmit path, NAPI receive) over the real
 //!   `vf-virtio` rings;
+//! * [`virtio_packed`] — the same front end over the VirtIO 1.2
+//!   *packed* virtqueue layout (experiment E17);
 //! * [`xdma_char`] — the vendor reference character-device driver
 //!   (per-transfer pin/map, descriptor build, MMIO programming, ISR).
 //!
@@ -42,6 +44,7 @@ pub mod packet;
 pub mod udp;
 pub mod virtio_console;
 pub mod virtio_net;
+pub mod virtio_packed;
 pub mod xdma_char;
 
 pub use cost::{CostEngine, HostCosts, HOST_CPU_GHZ};
@@ -55,4 +58,5 @@ pub use virtio_console::VirtioConsoleDriver;
 pub use virtio_net::{
     probe, ProbeError, ProbeOutcome, RxFrame, VirtioNetDriver, VirtioTransport, XmitResult,
 };
+pub use virtio_packed::{probe_packed, VirtioPackedDriver};
 pub use xdma_char::{TransferSetup, XdmaCharDriver};

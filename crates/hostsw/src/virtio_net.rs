@@ -296,7 +296,14 @@ pub fn probe<T: VirtioTransport>(
         (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK) as u64,
     );
     if transport.common_read(c::DEVICE_STATUS, 1) as u8 & status::FEATURES_OK == 0 {
-        transport.common_write(c::DEVICE_STATUS, 1, status::FAILED as u64);
+        // §3.1.1 step 4 failure: status bits can only be added, so the
+        // driver gives up by writing FAILED *on top of* the bits it
+        // already set — this is what makes FAILED visible to the device.
+        transport.common_write(
+            c::DEVICE_STATUS,
+            1,
+            (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::FAILED) as u64,
+        );
         return Err(ProbeError::FeaturesRejected);
     }
 
@@ -510,6 +517,57 @@ mod tests {
         assert!(t.cfg.queue(0).enabled && t.cfg.queue(1).enabled);
         assert_eq!(t.cfg.queue(0).layout(), drv.rx_layout());
         assert_eq!(t.cfg.queue(1).layout(), drv.tx_layout());
+    }
+
+    /// A transport that advertises a feature bit its device core never
+    /// offered — drives the probe into the FEATURES_OK rejection path.
+    struct LyingTransport {
+        inner: LoopbackTransport,
+        select: u64,
+    }
+
+    impl VirtioTransport for LyingTransport {
+        fn common_read(&mut self, off: u64, len: usize) -> u64 {
+            let v = self.inner.common_read(off, len);
+            if off == common::DEVICE_FEATURE && self.select == 0 {
+                v | (1 << 7) // bogus feature bit
+            } else {
+                v
+            }
+        }
+        fn common_write(&mut self, off: u64, len: usize, val: u64) {
+            if off == common::DEVICE_FEATURE_SELECT {
+                self.select = val;
+            }
+            self.inner.common_write(off, len, val);
+        }
+        fn device_cfg_read(&mut self, off: u64, len: usize) -> u64 {
+            self.inner.device_cfg_read(off, len)
+        }
+    }
+
+    #[test]
+    fn probe_rejection_leaves_failed_status_on_device() {
+        let mut mem = HostMemory::testbed_default();
+        let drv = VirtioNetDriver::init(&mut mem, 16, driver_features());
+        let mut t = LyingTransport {
+            inner: LoopbackTransport {
+                cfg: vf_virtio::CommonCfg::new(driver_features(), &[16, 16]),
+                netcfg: vf_virtio::net::VirtioNetConfig::testbed_default(),
+            },
+            select: 0,
+        };
+        assert_eq!(
+            probe(&mut t, &drv, driver_features() | (1 << 7)).unwrap_err(),
+            ProbeError::FeaturesRejected
+        );
+        let st = t.inner.cfg.read(common::DEVICE_STATUS, 1) as u8;
+        assert!(
+            st & status::FAILED != 0,
+            "device must see the driver's FAILED write"
+        );
+        assert_eq!(st & status::FEATURES_OK, 0);
+        assert!(!t.inner.cfg.negotiation.is_live());
     }
 
     #[test]

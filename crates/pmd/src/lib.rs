@@ -330,7 +330,13 @@ pub fn probe<T: VirtioTransport>(
     let hi = transport.common_read(c::DEVICE_FEATURE, 4);
     let offered = lo | (hi << 32);
     if offered & core_feature::RING_EVENT_IDX == 0 {
-        transport.common_write(c::DEVICE_STATUS, 1, status::FAILED as u64);
+        // Status bits can only be added, so FAILED goes on top of the
+        // bits already set — a bare FAILED write would be rejected.
+        transport.common_write(
+            c::DEVICE_STATUS,
+            1,
+            (status::ACKNOWLEDGE | status::DRIVER | status::FAILED) as u64,
+        );
         return Err(PmdProbeError::EventIdxUnavailable);
     }
     let accept = (offered & want_features) | core_feature::VERSION_1 | core_feature::RING_EVENT_IDX;
@@ -345,7 +351,14 @@ pub fn probe<T: VirtioTransport>(
         (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK) as u64,
     );
     if transport.common_read(c::DEVICE_STATUS, 1) as u8 & status::FEATURES_OK == 0 {
-        transport.common_write(c::DEVICE_STATUS, 1, status::FAILED as u64);
+        // The raw status still carries the FEATURES_OK we wrote (the
+        // device only masks it on read), so FAILED must be added on top
+        // of all of it to survive the bits-only-added rule.
+        transport.common_write(
+            c::DEVICE_STATUS,
+            1,
+            (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::FAILED) as u64,
+        );
         return Err(PmdProbeError::FeaturesRejected);
     }
 

@@ -205,6 +205,15 @@ impl<W: World> Simulation<W> {
     pub fn run_to_idle(&mut self) -> RunOutcome {
         self.run(Time::MAX, u64::MAX / 2)
     }
+
+    /// Run and require the queue to drain: like [`run`](Self::run), but
+    /// panics (naming `what` wedged) if the loop stops on the horizon or
+    /// the event budget instead of going [`RunOutcome::Idle`]. The shared
+    /// epilogue of every harness that expects its workload to complete.
+    pub fn run_expect_idle(&mut self, horizon: Time, max_events: u64, what: &str) {
+        let outcome = self.run(horizon, max_events);
+        assert_eq!(outcome, RunOutcome::Idle, "{what} wedged: {outcome:?}");
+    }
 }
 
 #[cfg(test)]
@@ -315,6 +324,22 @@ mod tests {
             sim.world.times,
             vec![Time::from_ns(100), Time::from_ns(100)]
         );
+    }
+
+    #[test]
+    fn run_expect_idle_passes_when_drained() {
+        let mut sim = Simulation::new(Countdown { log: Vec::new() });
+        sim.schedule(Time::from_ns(5), 3);
+        sim.run_expect_idle(Time::MAX, u64::MAX / 2, "countdown");
+        assert_eq!(sim.events_delivered(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "countdown wedged")]
+    fn run_expect_idle_panics_on_horizon() {
+        let mut sim = Simulation::new(Countdown { log: Vec::new() });
+        sim.schedule(Time::from_ns(5), 10);
+        sim.run_expect_idle(Time::from_ns(26), u64::MAX / 2, "countdown");
     }
 
     #[test]

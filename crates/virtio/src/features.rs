@@ -33,8 +33,9 @@ pub mod feature {
     pub const VERSION_1: u64 = 1 << 32;
     /// Device can be used from a restricted-access context.
     pub const ACCESS_PLATFORM: u64 = 1 << 33;
-    /// Packed ring layout (offered-but-unused in this testbed: the
-    /// paper's framework implements split rings).
+    /// Packed ring layout (VirtIO 1.2 §2.8). The paper's framework
+    /// implements split rings; the testbed's `VirtioPacked` driver kind
+    /// negotiates this bit to drive the one-ring layout instead (E17).
     pub const RING_PACKED: u64 = 1 << 34;
 }
 
@@ -232,6 +233,84 @@ mod tests {
             .write_status(status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK)
             .unwrap_err();
         assert_eq!(err, NegotiationError::MissingVersion1);
+    }
+
+    /// The failure path of VirtIO 1.2 §3.1.1 step 5: the device clears
+    /// FEATURES_OK on read-back and the driver gives up by *adding* the
+    /// FAILED bit to the status it already set.
+    #[test]
+    fn driver_sets_failed_after_rejection() {
+        let mut dev = Negotiation::new(NET_OFFER);
+        dev.write_status(status::ACKNOWLEDGE).unwrap();
+        dev.write_status(status::ACKNOWLEDGE | status::DRIVER)
+            .unwrap();
+        dev.write_driver_features(feature::VERSION_1 | (1 << 7)); // not offered
+        assert!(dev
+            .write_status(status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK)
+            .is_err());
+        assert_eq!(dev.status() & status::FEATURES_OK, 0);
+        // Driver bails: status bits may only be added, so FAILED lands
+        // on top of ACKNOWLEDGE|DRIVER|FEATURES_OK.
+        dev.write_status(
+            status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::FAILED,
+        )
+        .unwrap();
+        assert!(dev.status() & status::FAILED != 0);
+        assert_eq!(
+            dev.status() & status::FEATURES_OK,
+            0,
+            "rejection keeps masking FEATURES_OK"
+        );
+        assert!(!dev.is_live());
+    }
+
+    /// A FAILED device is not bricked: reset clears the rejection and a
+    /// corrected feature set negotiates cleanly.
+    #[test]
+    fn reset_recovers_from_failed_negotiation() {
+        let mut dev = Negotiation::new(NET_OFFER);
+        dev.write_status(status::ACKNOWLEDGE).unwrap();
+        dev.write_status(status::ACKNOWLEDGE | status::DRIVER)
+            .unwrap();
+        dev.write_driver_features(feature::VERSION_1 | feature::RING_PACKED); // not offered
+        assert_eq!(
+            dev.write_status(status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK)
+                .unwrap_err(),
+            NegotiationError::NotOffered {
+                bits: feature::RING_PACKED
+            }
+        );
+        dev.write_status(
+            status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::FAILED,
+        )
+        .unwrap();
+        // Second attempt after reset, this time within the offer.
+        let got = driver_init(&mut dev, feature::VERSION_1 | feature::RING_EVENT_IDX).unwrap();
+        assert_eq!(got, feature::VERSION_1 | feature::RING_EVENT_IDX);
+        dev.write_status(
+            status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::DRIVER_OK,
+        )
+        .unwrap();
+        assert!(dev.is_live());
+    }
+
+    /// DRIVER_OK written while the device is still rejecting the feature
+    /// set must not bring the device live.
+    #[test]
+    fn driver_ok_after_rejection_stays_dead() {
+        let mut dev = Negotiation::new(NET_OFFER);
+        dev.write_status(status::ACKNOWLEDGE).unwrap();
+        dev.write_status(status::ACKNOWLEDGE | status::DRIVER)
+            .unwrap();
+        dev.write_driver_features(feature::VERSION_1 | (1 << 9));
+        assert!(dev
+            .write_status(status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK)
+            .is_err());
+        // A buggy driver barrels on to DRIVER_OK anyway.
+        let _ = dev.write_status(
+            status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::DRIVER_OK,
+        );
+        assert!(!dev.is_live(), "rejected negotiation must never go live");
     }
 
     #[test]

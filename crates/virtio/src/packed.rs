@@ -269,6 +269,22 @@ impl PackedDeviceQueue {
         }
     }
 
+    /// Ring base guest-physical address (device models need it to time
+    /// the descriptor DMA they issue).
+    pub fn ring_addr(&self) -> u64 {
+        self.ring
+    }
+
+    /// Guest-physical address of descriptor `slot`.
+    pub fn desc_addr(&self, slot: u16) -> u64 {
+        self.ring + slot as u64 * PackedDesc::SIZE
+    }
+
+    /// The slot the device will examine next.
+    pub fn next_slot(&self) -> u16 {
+        self.slot
+    }
+
     /// Take the next available chain, if any. One descriptor read per
     /// chain element — no separate avail structure (the packed layout's
     /// advantage for DMA devices).

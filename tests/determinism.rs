@@ -1,0 +1,133 @@
+//! Determinism regression goldens.
+//!
+//! The golden fingerprints below were captured on the pre-`DriverModel`
+//! tree (three hand-rolled worlds, inline cost chains) for one E1 matrix
+//! cell per kernel driver and one E15 cell for the PMD, at the exact
+//! seeds those experiments derive. The generic harness refactor must be
+//! a pure re-plumbing: same seed + config ⇒ bit-identical `RunResult`,
+//! which these tests check down to the f64 bit pattern of every summary
+//! statistic.
+
+use virtio_fpga::{DriverKind, RunResult, Testbed, TestbedConfig};
+
+/// Bit-exact fingerprint of a run: summary stats as raw f64 bits plus
+/// the event counters.
+struct Fingerprint {
+    mean: u64,
+    p99: u64,
+    max: u64,
+    hw_mean: u64,
+    sw_mean: u64,
+    proc_mean: u64,
+    sum: u64,
+    notifications: u64,
+    irqs: u64,
+    verify_failures: u64,
+}
+
+fn fingerprint(r: &mut RunResult) -> Fingerprint {
+    let t = r.total_summary();
+    let h = r.hw_summary();
+    let s = r.sw_summary();
+    let p = r.proc_summary();
+    let sum: f64 = r.total.raw().iter().sum();
+    Fingerprint {
+        mean: t.mean_us.to_bits(),
+        p99: t.p99_us.to_bits(),
+        max: t.max_us.to_bits(),
+        hw_mean: h.mean_us.to_bits(),
+        sw_mean: s.mean_us.to_bits(),
+        proc_mean: p.mean_us.to_bits(),
+        sum: sum.to_bits(),
+        notifications: r.notifications,
+        irqs: r.irqs,
+        verify_failures: r.verify_failures,
+    }
+}
+
+fn assert_golden(mut r: RunResult, golden: &Fingerprint) {
+    let f = fingerprint(&mut r);
+    assert_eq!(f.mean, golden.mean, "total mean drifted");
+    assert_eq!(f.p99, golden.p99, "total p99 drifted");
+    assert_eq!(f.max, golden.max, "total max drifted");
+    assert_eq!(f.hw_mean, golden.hw_mean, "hw mean drifted");
+    assert_eq!(f.sw_mean, golden.sw_mean, "sw mean drifted");
+    assert_eq!(f.proc_mean, golden.proc_mean, "proc mean drifted");
+    assert_eq!(f.sum, golden.sum, "sample sum drifted");
+    assert_eq!(
+        f.notifications, golden.notifications,
+        "notifications drifted"
+    );
+    assert_eq!(f.irqs, golden.irqs, "irqs drifted");
+    assert_eq!(f.verify_failures, golden.verify_failures);
+}
+
+/// E1 matrix cell, `run_matrix` seed derivation with base seed 42 and
+/// payload index 2 (256 B): VirtIO seed 42·1000+2.
+#[test]
+fn e1_virtio_cell_matches_pre_refactor_golden() {
+    let r = Testbed::new(TestbedConfig::paper(DriverKind::Virtio, 256, 2000, 42_002)).run();
+    assert_golden(
+        r,
+        &Fingerprint {
+            mean: 0x404086d9b1b79d8e,
+            p99: 0x4044f4395810624e,
+            max: 0x4053aae147ae147b,
+            hw_mean: 0x4032aabda0dfdeb2,
+            sw_mean: 0x402c19e353f7cee3,
+            proc_mean: 0x3fd5810624dd2fd0,
+            sum: 0x40f023b0978d4fdd,
+            notifications: 2000,
+            irqs: 2000,
+            verify_failures: 0,
+        },
+    );
+}
+
+/// E1 matrix cell: XDMA seed 42·1000+2+500.
+#[test]
+fn e1_xdma_cell_matches_pre_refactor_golden() {
+    let r = Testbed::new(TestbedConfig::paper(DriverKind::Xdma, 256, 2000, 42_502)).run();
+    assert_golden(
+        r,
+        &Fingerprint {
+            mean: 0x404802aca7935761,
+            p99: 0x404ff395810624dd,
+            max: 0x40637fdf3b645a1d,
+            hw_mean: 0x4029d8151a43781d,
+            sw_mean: 0x40418ca761027958,
+            proc_mean: 0x0000000000000000,
+            sum: 0x40f7729c9ba5e355,
+            notifications: 4000,
+            irqs: 4000,
+            verify_failures: 0,
+        },
+    );
+}
+
+/// E15 `pmd_tails` cell: VirtioPmd at 256 B, seed 42·1000+2.
+#[test]
+fn e15_pmd_cell_matches_pre_refactor_golden() {
+    let r = Testbed::new(TestbedConfig::paper(
+        DriverKind::VirtioPmd,
+        256,
+        2000,
+        42_002,
+    ))
+    .run();
+    assert_golden(
+        r,
+        &Fingerprint {
+            mean: 0x40352a906034f406,
+            p99: 0x4037d16872b020c5,
+            max: 0x40432a1cac083127,
+            hw_mean: 0x40323e358298cc2f,
+            sw_mean: 0x4004b2b62845996d,
+            proc_mean: 0x3fd5810624dd2fd0,
+            sum: 0x40e4ab90fdf3b64e,
+            notifications: 2000,
+            irqs: 0,
+            verify_failures: 0,
+        },
+    );
+}
