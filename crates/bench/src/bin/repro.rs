@@ -1,7 +1,7 @@
 //! `repro` — regenerate every figure and table of the paper.
 //!
 //! ```sh
-//! repro [--packets N] [--seed S] [--quick] <artifact>...
+//! repro [--packets N] [--seed S] [--quick] [--trace FILE] <artifact>...
 //!
 //! artifacts:
 //!   fig3 fig4 fig5 table1          the paper's evaluation (§V)
@@ -19,9 +19,20 @@
 //!   pmd-crossover                  E16 poll-vs-interrupt crossover vs offered load
 //!   packed                         E17 split vs packed virtqueue layout
 //!   all                            everything above
+//!   trace                          E18 cross-layer span trace + Perfetto export
 //! ```
 //!
 //! With `--quick`, runs use 2 000 packets instead of the paper's 50 000.
+//!
+//! The `trace` artifact runs a short traced round-trip batch for every
+//! driver model, prints the per-round-trip latency-attribution table,
+//! asserts the spans reconcile with the recorder's summaries, and
+//! writes a Chrome/Perfetto `trace_event` JSON (load it at
+//! <https://ui.perfetto.dev>) to `--out FILE` (default `trace.json`).
+//!
+//! `--trace FILE` additionally captures a trace of any *other* artifact
+//! run: it forces sweeps onto one thread (tracing is per-thread) and
+//! dumps everything those runs emitted to FILE on exit.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -35,6 +46,8 @@ fn main() {
     let mut packets = virtio_fpga::PAPER_PACKETS;
     let mut seed = 42u64;
     let mut csv_dir: Option<PathBuf> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
     let mut artifacts: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -50,6 +63,14 @@ fn main() {
             "--csv" => {
                 i += 1;
                 csv_dir = Some(PathBuf::from(&args[i]));
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(PathBuf::from(&args[i]));
+            }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(PathBuf::from(&args[i]));
             }
             "--quick" => packets = 2_000,
             "--help" | "-h" => {
@@ -89,14 +110,30 @@ fn main() {
         .collect();
     }
 
+    if trace_path.is_some() && artifacts.iter().any(|a| a == "trace") {
+        eprintln!("--trace FILE and the `trace` artifact are mutually exclusive");
+        eprintln!("(the artifact manages its own per-driver trace sessions)");
+        std::process::exit(2);
+    }
     let params = ExperimentParams {
         packets,
         seed,
-        threads: vf_sim::default_threads(),
+        // Tracing is per-thread: a global capture must keep every run on
+        // the thread that owns the session.
+        threads: if trace_path.is_some() {
+            1
+        } else {
+            vf_sim::default_threads()
+        },
     };
     eprintln!(
         "# testbed: Alinx AX7A200 model, PCIe Gen2 x2, Fedora 37 host model; {packets} packets/config, seed {seed}"
     );
+    if trace_path.is_some() {
+        // Big enough for a --quick artifact; the ring drops oldest
+        // events beyond this rather than growing without bound.
+        vf_trace::install(Box::new(vf_trace::RingBufferSink::new(4_000_000)));
+    }
 
     // The paper matrix is shared by fig3/fig4/fig5/table1 — run it once.
     let needs_matrix = artifacts
@@ -189,6 +226,12 @@ fn main() {
             "packed" => {
                 println!("{}", render_packed(&experiments::packed_ring(params)));
             }
+            "trace" => {
+                let out = out_path
+                    .clone()
+                    .unwrap_or_else(|| PathBuf::from("trace.json"));
+                run_trace_artifact(&out, packets.min(50), seed);
+            }
             other => {
                 eprintln!("unknown artifact: {other}");
                 print_usage();
@@ -196,6 +239,57 @@ fn main() {
             }
         }
     }
+
+    if let Some(path) = &trace_path {
+        let events = vf_trace::finish();
+        std::fs::write(path, vf_trace::chrome_trace_json(&events)).expect("writing --trace output");
+        eprintln!(
+            "# trace: {} events written to {}",
+            events.len(),
+            path.display()
+        );
+    }
+}
+
+/// The E18 trace artifact: run a short traced batch per driver model,
+/// print the per-round-trip latency attribution, assert the spans
+/// reconcile with the recorder, and export one Perfetto track per
+/// driver to `out`.
+fn run_trace_artifact(out: &PathBuf, packets: usize, seed: u64) {
+    use virtio_fpga::{reconcile, traced_run, TestbedConfig};
+
+    let drivers = [
+        DriverKind::Virtio,
+        DriverKind::VirtioPacked,
+        DriverKind::Xdma,
+        DriverKind::VirtioPmd,
+    ];
+    let mut tracks: Vec<(&str, Vec<vf_trace::TraceEvent>)> = Vec::new();
+    println!("E18 — cross-layer latency attribution (payload 256 B, {packets} round trips/driver)");
+    for (i, driver) in drivers.into_iter().enumerate() {
+        let cfg = TestbedConfig::paper(driver, 256, packets, seed.wrapping_add(i as u64));
+        let run = traced_run(&cfg);
+        let rtts = run.breakdowns();
+        reconcile(&run.result, &rtts)
+            .unwrap_or_else(|e| panic!("{} trace fails reconciliation: {e}", driver.name()));
+        println!();
+        println!(
+            "{} — spans reconcile with hw/sw summaries; first {} round trips:",
+            driver.name(),
+            rtts.len().min(5)
+        );
+        print!("{}", vf_trace::render_table(&rtts[..rtts.len().min(5)]));
+        tracks.push((driver.name(), run.events));
+    }
+    let refs: Vec<(&str, &[vf_trace::TraceEvent])> =
+        tracks.iter().map(|(n, e)| (*n, e.as_slice())).collect();
+    std::fs::write(out, vf_trace::chrome_trace_json_multi(&refs)).expect("writing trace JSON");
+    println!();
+    println!(
+        "Perfetto trace ({} tracks) written to {} — load it at https://ui.perfetto.dev",
+        refs.len(),
+        out.display()
+    );
 }
 
 /// Dump the measurement matrix as CSV: one summaries file plus one raw
@@ -256,9 +350,10 @@ fn write_matrix_csv(dir: &PathBuf, m: &mut experiments::Matrix) -> std::io::Resu
 
 fn print_usage() {
     eprintln!(
-        "usage: repro [--packets N] [--seed S] [--quick] [--csv DIR] <artifact>...\n\
+        "usage: repro [--packets N] [--seed S] [--quick] [--csv DIR] [--out FILE] [--trace FILE] <artifact>...\n\
          artifacts: fig3 fig4 fig5 table1 portability xdma-irq-ablation\n\
          \u{20}          virtio-features bypass devtypes csum-offload noise-sweep\n\
-         \u{20}          pipeline deployment card-memory pmd pmd-crossover packed all"
+         \u{20}          pipeline deployment card-memory pmd pmd-crossover packed\n\
+         \u{20}          trace all"
     );
 }

@@ -44,6 +44,9 @@ pub struct RoundTripRecorder {
     pub packets_left: usize,
     /// Send timestamp of the round trip in flight.
     pub t0: Time,
+    /// Open root trace span of the round trip in flight
+    /// ([`vf_trace::SpanId::NONE`] when tracing is disabled).
+    pub root: vf_trace::SpanId,
 }
 
 impl RoundTripRecorder {
@@ -57,7 +60,17 @@ impl RoundTripRecorder {
             verify_failures: 0,
             packets_left: packets,
             t0: Time::ZERO,
+            root: vf_trace::SpanId::NONE,
         }
+    }
+
+    /// Mark the start of a round trip at `t0` and open its root trace
+    /// span (`name` is the driver's root-span label, `payload` the
+    /// request size in bytes). Every world calls this where it used to
+    /// assign `t0` directly, so each round trip becomes one span tree.
+    pub fn begin_rtt(&mut self, t0: Time, name: &'static str, payload: u64) {
+        self.t0 = t0;
+        self.root = vf_trace::begin(vf_trace::Layer::App, name, t0, payload);
     }
 
     /// Record one completed round trip ending at `t_end` with hardware
@@ -70,6 +83,8 @@ impl RoundTripRecorder {
         self.proc.push(proc);
         self.sw.push(total.saturating_sub(hw).saturating_sub(proc));
         self.packets_left -= 1;
+        vf_trace::end(self.root, t_end);
+        self.root = vf_trace::SpanId::NONE;
     }
 }
 
@@ -101,6 +116,14 @@ pub trait DriverModel: World + Sized {
     /// The first application event (scheduled once by the harness).
     fn initial_event() -> Self::Msg;
 
+    /// Describe a message for the trace: the layer the delivery belongs
+    /// to and a static label (e.g. a doorbell arrival is
+    /// `(Layer::Device, "doorbell")`). `None` (the default) emits
+    /// nothing; deliveries are only annotated when tracing is on.
+    fn describe(_msg: &Self::Msg) -> Option<(vf_trace::Layer, &'static str)> {
+        None
+    }
+
     /// Tear down: yield the recorder, the run counters, and any
     /// driver-specific telemetry.
     fn finish(self) -> (RoundTripRecorder, RunStats, Self::Telemetry);
@@ -109,8 +132,19 @@ pub trait DriverModel: World + Sized {
 /// Run one driver model to completion — the single copy of the
 /// "schedule → run → assert drained → build result" epilogue that every
 /// driver previously duplicated.
-pub fn run_world<D: DriverModel>(cfg: &TestbedConfig) -> (RunResult, D::Telemetry) {
+pub fn run_world<D: DriverModel + 'static>(cfg: &TestbedConfig) -> (RunResult, D::Telemetry) {
     let mut sim = Simulation::new(D::build(cfg));
+    if vf_trace::is_enabled() {
+        // Anchor the tracer's clock at every delivery and annotate the
+        // deliveries the driver cares to describe. Installed only when a
+        // session is live, so untraced runs keep a hook-free step loop.
+        sim.set_delivery_hook(Some(Box::new(|t, msg: &D::Msg| {
+            vf_trace::set_now(t);
+            if let Some((layer, name)) = D::describe(msg) {
+                vf_trace::instant(layer, name, t, 0, 0);
+            }
+        })));
+    }
     sim.schedule(Time::from_us(10), D::initial_event());
     sim.run_expect_idle(Time::from_secs(3600), 200_000_000, "simulation");
     let (rec, stats, telemetry) = sim.world.finish();

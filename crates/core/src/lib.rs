@@ -36,6 +36,7 @@ pub mod pipeline;
 pub mod pmd;
 pub mod report;
 pub mod testbed;
+pub mod traced;
 
 pub use calibration::Calibration;
 pub use driver_model::{run_world, DriverModel, RoundTripRecorder, RunStats};
@@ -43,6 +44,7 @@ pub use pipeline::{run_pipelined, xdma_serial_pps, ThroughputResult};
 pub use pmd::{run_pmd, PmdRun};
 pub use report::{render_breakdown, render_table1, RunResult};
 pub use testbed::{DriverKind, Testbed, TestbedConfig, TestbedOptions};
+pub use traced::{reconcile, traced_run, TracedRun};
 
 /// The payload sizes of the paper's evaluation (§V).
 pub const PAPER_PAYLOADS: [usize; 5] = [64, 128, 256, 512, 1024];

@@ -184,22 +184,52 @@ impl PmdWorld {
                 // wake pays the full interrupt path — including the
                 // blocking-noise draw the pure poller never sees.
                 self.cost.burn(threshold);
+                vf_trace::span_at(
+                    vf_trace::Layer::App,
+                    "poll_burn",
+                    self.poll_start,
+                    self.poll_start + threshold,
+                    0,
+                    0,
+                );
                 self.driver.arm_rx_interrupt(&mut self.mem);
                 let mut armed = self.poll_start + threshold;
+                vf_trace::set_now(armed);
                 armed += self.cost.block_in_syscall();
-                done_at.max(armed) + self.cost.irq_wake()
+                let woken = done_at.max(armed);
+                vf_trace::set_now(woken);
+                woken + self.cost.irq_wake()
             }
             _ => {
                 // Busy path: completion is seen at the first used-index
                 // peek at or after `done_at`; the whole wait is CPU burn.
-                let (burn, _peeks) = self.cost.poll_wait(wait);
-                self.poll_start + burn
+                let (burn, peeks) = self.cost.poll_wait(wait);
+                let td = self.poll_start + burn;
+                // Wall-clock spin: application-layer time, not serial
+                // software latency (the device works underneath it).
+                vf_trace::span_at(
+                    vf_trace::Layer::App,
+                    "poll_wait",
+                    self.poll_start,
+                    td,
+                    peeks,
+                    0,
+                );
+                td
             }
         };
 
         let (frames, cpu) = self
             .driver
             .rx_burst(&mut self.mem, usize::MAX, &mut self.cost);
+        vf_trace::span_at(
+            vf_trace::Layer::Driver,
+            "rx_burst",
+            t_detect,
+            t_detect + cpu,
+            0,
+            0,
+        );
         let mut t = t_detect + cpu;
         let mut delivered: Option<Vec<u8>> = None;
         for rx in frames {
@@ -252,7 +282,7 @@ impl World for PmdWorld {
                 if self.rec.packets_left == 0 {
                     return;
                 }
-                self.rec.t0 = now;
+                self.rec.begin_rtt(now, "rtt_pmd", self.payload as u64);
                 self.last_send = now;
                 let mut t = now;
 
@@ -263,11 +293,21 @@ impl World for PmdWorld {
                 // software-checksum configuration).
                 let frame = build_udp_frame(&self.flow, self.ip_id, &payload, true);
                 self.ip_id = self.ip_id.wrapping_add(1);
-                t += self.cost.step(self.cost.costs.pmd_tx_build);
+                let d = self.cost.step(self.cost.costs.pmd_tx_build);
+                vf_trace::span_at(
+                    vf_trace::Layer::Driver,
+                    "pmd_tx_build",
+                    t,
+                    t + d,
+                    frame.len() as u64,
+                    0,
+                );
+                t += d;
 
                 let burst = self
                     .driver
                     .tx_burst(&mut self.mem, &[&frame], &mut self.cost);
+                vf_trace::span_at(vf_trace::Layer::Driver, "tx_burst", t, t + burst.cpu, 1, 0);
                 t += burst.cpu;
                 if burst.notify {
                     let off = bar0::NOTIFY
@@ -275,7 +315,16 @@ impl World for PmdWorld {
                     let ev = self.device.mmio_write(off, 2, u64::from(net::TX_QUEUE));
                     debug_assert_eq!(ev, Some(vf_fpga::MmioEvent::Notify(net::TX_QUEUE)));
                     let arrival = self.link.mmio_write(t, 2);
-                    t += self.cost.step(self.cost.costs.mmio_write_cpu);
+                    let d = self.cost.step(self.cost.costs.mmio_write_cpu);
+                    vf_trace::span_at(
+                        vf_trace::Layer::Driver,
+                        "doorbell_mmio",
+                        t,
+                        t + d,
+                        u64::from(net::TX_QUEUE),
+                        0,
+                    );
+                    t += d;
                     sched.at(arrival, PmdEv::Doorbell(net::TX_QUEUE));
                 } else {
                     // Device still awake from the previous burst: it will
@@ -327,6 +376,13 @@ impl DriverModel for PmdWorld {
 
     fn initial_event() -> PmdEv {
         PmdEv::AppSend
+    }
+
+    fn describe(msg: &PmdEv) -> Option<(vf_trace::Layer, &'static str)> {
+        match msg {
+            PmdEv::AppSend => Some((vf_trace::Layer::App, "app_send")),
+            PmdEv::Doorbell(_) => Some((vf_trace::Layer::Device, "doorbell")),
+        }
     }
 
     fn finish(self) -> (RoundTripRecorder, RunStats, PmdTelemetry) {

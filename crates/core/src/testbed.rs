@@ -515,7 +515,12 @@ impl World for VirtioWorld {
                 if self.rec.packets_left == 0 {
                     return;
                 }
-                self.rec.t0 = now;
+                let rtt_name = match self.front {
+                    FrontEnd::Net(_) => "rtt_virtio",
+                    FrontEnd::PackedNet(_) => "rtt_virtio_packed",
+                    FrontEnd::Console(_) => "rtt_virtio_console",
+                };
+                self.rec.begin_rtt(now, rtt_name, self.payload as u64);
                 let mut t = now;
                 // Generate this packet's payload.
                 let mut payload = vec![0u8; self.payload];
@@ -536,8 +541,24 @@ impl World for VirtioWorld {
                                 &mut self.cost,
                             )
                             .expect("send path configured");
+                        vf_trace::span_at(
+                            vf_trace::Layer::Syscall,
+                            "sendto",
+                            t,
+                            t + cpu,
+                            payload.len() as u64,
+                            0,
+                        );
                         t += cpu;
                         let res = driver.xmit(&mut self.mem, &frame, &mut self.cost);
+                        vf_trace::span_at(
+                            vf_trace::Layer::Driver,
+                            "virtio_xmit",
+                            t,
+                            t + res.cpu,
+                            frame.len() as u64,
+                            0,
+                        );
                         t += res.cpu;
                         res.notify
                     }
@@ -553,16 +574,42 @@ impl World for VirtioWorld {
                                 &mut self.cost,
                             )
                             .expect("send path configured");
+                        vf_trace::span_at(
+                            vf_trace::Layer::Syscall,
+                            "sendto",
+                            t,
+                            t + cpu,
+                            payload.len() as u64,
+                            0,
+                        );
                         t += cpu;
                         let res = driver.xmit(&mut self.mem, &frame, &mut self.cost);
+                        vf_trace::span_at(
+                            vf_trace::Layer::Driver,
+                            "virtio_xmit",
+                            t,
+                            t + res.cpu,
+                            frame.len() as u64,
+                            0,
+                        );
                         t += res.cpu;
                         res.notify
                     }
                     FrontEnd::Console(driver) => {
                         // hvc write: no network stack, just the syscall +
                         // tty layer + ring add.
-                        t += self.cost.step(self.cost.costs.syscall_entry);
+                        let d = self.cost.step(self.cost.costs.syscall_entry);
+                        vf_trace::span_at(vf_trace::Layer::Syscall, "write_entry", t, t + d, 0, 0);
+                        t += d;
                         let (notify, cpu) = driver.write(&mut self.mem, &payload, &mut self.cost);
+                        vf_trace::span_at(
+                            vf_trace::Layer::Driver,
+                            "hvc_write",
+                            t,
+                            t + cpu,
+                            payload.len() as u64,
+                            0,
+                        );
                         t += cpu;
                         notify
                     }
@@ -576,10 +623,20 @@ impl World for VirtioWorld {
                     let ev = self.device.mmio_write(off, 2, u64::from(net::TX_QUEUE));
                     debug_assert_eq!(ev, Some(vf_fpga::MmioEvent::Notify(net::TX_QUEUE)));
                     let arrival = self.link.mmio_write(t, 2);
-                    t += self.cost.step(self.cost.costs.mmio_write_cpu);
+                    let d = self.cost.step(self.cost.costs.mmio_write_cpu);
+                    vf_trace::span_at(
+                        vf_trace::Layer::Driver,
+                        "doorbell_mmio",
+                        t,
+                        t + d,
+                        u64::from(net::TX_QUEUE),
+                        0,
+                    );
+                    t += d;
                     sched.at(arrival, VirtioEv::Doorbell(net::TX_QUEUE));
                 }
                 // sendto returns; the app immediately blocks in recvfrom.
+                vf_trace::set_now(t);
                 t += self.cost.send_return_then_block();
                 self.cpu_free = t;
             }
@@ -603,23 +660,28 @@ impl World for VirtioWorld {
             VirtioEv::RxIrq => {
                 // Hardirq may only run once the CPU is available; on this
                 // quiesced host the app has long since blocked.
-                let mut t = now.max(self.cpu_free) + self.cost.irq_to_napi();
+                let t_irq = now.max(self.cpu_free);
+                vf_trace::set_now(t_irq);
+                let mut t = t_irq + self.cost.irq_to_napi();
                 let mut delivered_payload: Option<Vec<u8>> = None;
                 // Harvest frames from the ring (layout-specific), then
                 // run the shared netif_receive path over them.
                 let frames = match &mut self.front {
                     FrontEnd::Net(driver) => {
                         let (frames, cpu) = driver.napi_poll(&mut self.mem, &mut self.cost);
+                        vf_trace::span_at(vf_trace::Layer::Driver, "napi_poll", t, t + cpu, 0, 0);
                         t += cpu;
                         frames
                     }
                     FrontEnd::PackedNet(driver) => {
                         let (frames, cpu) = driver.napi_poll(&mut self.mem, &mut self.cost);
+                        vf_trace::span_at(vf_trace::Layer::Driver, "napi_poll", t, t + cpu, 0, 0);
                         t += cpu;
                         frames
                     }
                     FrontEnd::Console(driver) => {
                         let (lines, cpu) = driver.poll_rx(&mut self.mem, &mut self.cost);
+                        vf_trace::span_at(vf_trace::Layer::Driver, "hvc_poll_rx", t, t + cpu, 0, 0);
                         t += cpu;
                         delivered_payload = lines.into_iter().next_back();
                         Vec::new()
@@ -634,6 +696,14 @@ impl World for VirtioWorld {
                         &mut self.cost,
                     ) {
                         Ok((parsed, cpu)) => {
+                            vf_trace::span_at(
+                                vf_trace::Layer::Syscall,
+                                "udp_rx",
+                                t,
+                                t + cpu,
+                                rx.frame.len() as u64,
+                                0,
+                            );
                             t += cpu;
                             delivered_payload = Some(parsed.payload);
                         }
@@ -643,9 +713,20 @@ impl World for VirtioWorld {
                         Err(e) => panic!("receive path failed: {e:?}"),
                     }
                 }
-                t += self.cost.step(self.cost.costs.wakeup_to_run);
+                let d = self.cost.step(self.cost.costs.wakeup_to_run);
+                vf_trace::span_at(vf_trace::Layer::Irq, "wakeup_to_run", t, t + d, 0, 0);
+                t += d;
                 let len = delivered_payload.as_ref().map_or(0, |p| p.len());
-                t += self.stack.recvfrom_return(len, &mut self.cost);
+                let d = self.stack.recvfrom_return(len, &mut self.cost);
+                vf_trace::span_at(
+                    vf_trace::Layer::Syscall,
+                    "recvfrom_return",
+                    t,
+                    t + d,
+                    len as u64,
+                    0,
+                );
+                t += d;
                 self.cpu_free = t;
 
                 // Verify the echo.
@@ -673,6 +754,14 @@ impl DriverModel for VirtioWorld {
 
     fn initial_event() -> VirtioEv {
         VirtioEv::AppSend
+    }
+
+    fn describe(msg: &VirtioEv) -> Option<(vf_trace::Layer, &'static str)> {
+        match msg {
+            VirtioEv::AppSend => Some((vf_trace::Layer::App, "app_send")),
+            VirtioEv::Doorbell(_) => Some((vf_trace::Layer::Device, "doorbell")),
+            VirtioEv::RxIrq => Some((vf_trace::Layer::Irq, "msix_rx")),
+        }
     }
 
     fn finish(self) -> (RoundTripRecorder, RunStats, ()) {
@@ -799,11 +888,20 @@ impl XdmaWorld {
         writes: &[(u64, u32)],
         sched: &mut vf_sim::Scheduler<XdmaEv>,
     ) -> Time {
+        let t0 = t;
         for &(off, val) in writes {
             let arrival = self.link.mmio_write(t, 4);
             t += self.cost.step(self.cost.costs.mmio_write_cpu);
             sched.at(arrival, XdmaEv::Mmio { off, val });
         }
+        vf_trace::span_at(
+            vf_trace::Layer::Driver,
+            "mmio_prog",
+            t0,
+            t,
+            writes.len() as u64,
+            0,
+        );
         t
     }
 
@@ -811,8 +909,11 @@ impl XdmaWorld {
     /// register read (CPU stalls a full MMIO round trip), ack write,
     /// handler body, wakeup.
     fn service_irq(&mut self, now: Time, dir: ChannelDir) -> Time {
-        let mut t = now.max(self.cpu_free) + self.cost.irq_entry();
+        let t_irq = now.max(self.cpu_free);
+        vf_trace::set_now(t_irq);
+        let mut t = t_irq + self.cost.irq_entry();
         // ISR reads the channel status register (read-to-clear).
+        let t_isr = t;
         let status_off = match dir {
             ChannelDir::H2C => vf_xdma::regs::target::H2C + vf_xdma::regs::chan::STATUS_RC,
             ChannelDir::C2H => vf_xdma::regs::target::C2H + vf_xdma::regs::chan::STATUS_RC,
@@ -828,18 +929,34 @@ impl XdmaWorld {
         let _count = self.design.mmio_read(completed_off);
         t = self.link.mmio_read(t, 4);
         t += self.cost.step(self.cost.costs.mmio_read_cpu);
+        vf_trace::span_at(vf_trace::Layer::Irq, "isr_status_read", t_isr, t, 2, 0);
+        let t_body = t;
         self.design.bar.ack_channel(dir);
         t += self.cost.step(self.cost.costs.mmio_write_cpu); // ack write (posted)
         t += self.driver.isr_body(&mut self.cost);
         t += self.cost.step(self.cost.costs.wakeup_to_run);
+        vf_trace::span_at(vf_trace::Layer::Irq, "isr_body", t_body, t, 0, 0);
+        let t_teardown = t;
         t += self.driver.teardown(dir, &mut self.cost);
-        t += self.cost.step(self.cost.costs.syscall_exit);
+        vf_trace::span_at(
+            vf_trace::Layer::Driver,
+            "xdma_teardown",
+            t_teardown,
+            t,
+            0,
+            0,
+        );
+        let d = self.cost.step(self.cost.costs.syscall_exit);
+        vf_trace::span_at(vf_trace::Layer::Syscall, "syscall_exit", t, t + d, 0, 0);
+        t += d;
         t
     }
 
     /// Start the `read()` phase (C2H transfer).
     fn start_read(&mut self, mut t: Time, sched: &mut vf_sim::Scheduler<XdmaEv>) {
-        t += self.cost.step(self.cost.costs.syscall_entry);
+        let d = self.cost.step(self.cost.costs.syscall_entry);
+        vf_trace::span_at(vf_trace::Layer::Syscall, "read_entry", t, t + d, 0, 0);
+        t += d;
         let setup = self.driver.read_setup(
             &mut self.mem,
             self.c2h_buf,
@@ -847,10 +964,20 @@ impl XdmaWorld {
             self.transfer_len,
             &mut self.cost,
         );
+        vf_trace::span_at(
+            vf_trace::Layer::Driver,
+            "xdma_read_setup",
+            t,
+            t + setup.cpu,
+            u64::from(self.transfer_len),
+            0,
+        );
         t += setup.cpu;
         let writes = setup.mmio_writes.clone();
         t = self.issue_mmio(t, &writes, sched);
-        t += self.cost.step(self.cost.costs.block_schedule);
+        let d = self.cost.step(self.cost.costs.block_schedule);
+        vf_trace::span_at(vf_trace::Layer::Syscall, "block_schedule", t, t + d, 0, 0);
+        t += d;
         self.cpu_free = t;
     }
 }
@@ -864,7 +991,8 @@ impl World for XdmaWorld {
                 if self.rec.packets_left == 0 {
                     return;
                 }
-                self.rec.t0 = now;
+                self.rec
+                    .begin_rtt(now, "rtt_xdma", u64::from(self.transfer_len));
                 let mut t = now;
                 // The test program writes its buffer contents (the same
                 // bytes the VirtIO test would put on the wire).
@@ -878,11 +1006,14 @@ impl World for XdmaWorld {
                     // builds the packet and kicks; the host-side back-end
                     // worker wakes, copies the frame out of the guest
                     // buffers, and only then drives the legacy driver.
+                    vf_trace::set_now(t);
                     t += self.cost.vhost_tx_overlay(self.transfer_len as usize);
                 }
 
                 // write(): syscall entry, pin/map, descriptors, program.
-                t += self.cost.step(self.cost.costs.syscall_entry);
+                let d = self.cost.step(self.cost.costs.syscall_entry);
+                vf_trace::span_at(vf_trace::Layer::Syscall, "write_entry", t, t + d, 0, 0);
+                t += d;
                 let setup = self.driver.write_setup(
                     &mut self.mem,
                     self.h2c_buf,
@@ -890,10 +1021,20 @@ impl World for XdmaWorld {
                     self.transfer_len,
                     &mut self.cost,
                 );
+                vf_trace::span_at(
+                    vf_trace::Layer::Driver,
+                    "xdma_write_setup",
+                    t,
+                    t + setup.cpu,
+                    u64::from(self.transfer_len),
+                    0,
+                );
                 t += setup.cpu;
                 let writes = setup.mmio_writes.clone();
                 t = self.issue_mmio(t, &writes, sched);
-                t += self.cost.step(self.cost.costs.block_schedule);
+                let d = self.cost.step(self.cost.costs.block_schedule);
+                vf_trace::span_at(vf_trace::Layer::Syscall, "block_schedule", t, t + d, 0, 0);
+                t += d;
                 self.cpu_free = t;
             }
             XdmaEv::Mmio { off, val } => {
@@ -930,6 +1071,7 @@ impl World for XdmaWorld {
                             // Real use case: poll() for the data-ready
                             // interrupt before read().
                             let mut t = t;
+                            vf_trace::set_now(t);
                             t += self.cost.block_in_syscall();
                             self.cpu_free = t;
                         } else {
@@ -939,11 +1081,21 @@ impl World for XdmaWorld {
                     }
                     ChannelDir::C2H => {
                         let mut t = t;
-                        t += self.cost.copy_user(self.transfer_len as usize);
+                        let d = self.cost.copy_user(self.transfer_len as usize);
+                        vf_trace::span_at(
+                            vf_trace::Layer::Syscall,
+                            "copy_to_user",
+                            t,
+                            t + d,
+                            u64::from(self.transfer_len),
+                            0,
+                        );
+                        t += d;
                         if self.vhost {
                             // Back-end worker copies into the guest RX
                             // buffer, injects the interrupt, and the
                             // guest's stack delivers to the application.
+                            vf_trace::set_now(t);
                             t += self.cost.vhost_rx_overlay(self.transfer_len as usize);
                         }
                         // Verify the echoed buffer.
@@ -967,8 +1119,12 @@ impl World for XdmaWorld {
             }
             XdmaEv::UserIrq => {
                 // poll() wakes: hardirq + wakeup + syscall exit, then read().
-                let mut t = now.max(self.cpu_free) + self.cost.irq_wake();
-                t += self.cost.step(self.cost.costs.syscall_exit);
+                let t_irq = now.max(self.cpu_free);
+                vf_trace::set_now(t_irq);
+                let mut t = t_irq + self.cost.irq_wake();
+                let d = self.cost.step(self.cost.costs.syscall_exit);
+                vf_trace::span_at(vf_trace::Layer::Syscall, "syscall_exit", t, t + d, 0, 0);
+                t += d;
                 self.start_read(t, sched);
             }
         }
@@ -984,6 +1140,15 @@ impl DriverModel for XdmaWorld {
 
     fn initial_event() -> XdmaEv {
         XdmaEv::AppSend
+    }
+
+    fn describe(msg: &XdmaEv) -> Option<(vf_trace::Layer, &'static str)> {
+        match msg {
+            XdmaEv::AppSend => Some((vf_trace::Layer::App, "app_send")),
+            XdmaEv::Mmio { .. } => Some((vf_trace::Layer::Device, "bar_write")),
+            XdmaEv::ChannelIrq(_) => Some((vf_trace::Layer::Irq, "msix_channel")),
+            XdmaEv::UserIrq => Some((vf_trace::Layer::Irq, "msix_user")),
+        }
     }
 
     fn finish(self) -> (RoundTripRecorder, RunStats, ()) {

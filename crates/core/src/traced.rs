@@ -1,0 +1,163 @@
+//! Traced testbed runs and span/summary reconciliation.
+//!
+//! [`traced_run`] executes one testbed configuration with a live
+//! `vf-trace` session and returns both the usual [`RunResult`] and the
+//! captured event stream, so callers (the `repro -- trace` artifact and
+//! the reconciliation tests) can fold the stream into per-round-trip
+//! [`RttBreakdown`]s and check them against the recorder's own numbers.
+//!
+//! [`reconcile`] is that check: for every round trip, the span tree
+//! must re-derive the recorder's `total`/`hw`/`proc` samples exactly
+//! (up to the recorder's 1 ns host-clock quantization) and must not
+//! attribute more serial software time than the `sw = total − hw −
+//! proc` residual. A trace that passes is guaranteed to be a faithful
+//! decomposition of the run it came from, not an independent estimate.
+
+use vf_trace::{per_rtt, RingBufferSink, RttBreakdown, TraceEvent};
+
+use crate::report::RunResult;
+use crate::testbed::{Testbed, TestbedConfig};
+
+/// One testbed run plus the trace captured while it executed.
+pub struct TracedRun {
+    /// The run's ordinary measurements (identical to an untraced run).
+    pub result: RunResult,
+    /// Every event emitted during the run, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TracedRun {
+    /// Fold the event stream into one breakdown per round trip.
+    pub fn breakdowns(&self) -> Vec<RttBreakdown> {
+        per_rtt(&self.events)
+    }
+}
+
+/// Uninstall the session if the traced run panics, so a failing test
+/// does not poison the thread-local for whatever runs next.
+struct SessionGuard;
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let _ = vf_trace::uninstall();
+        }
+    }
+}
+
+/// Run `cfg` once with tracing enabled on the calling thread.
+///
+/// The run itself is single-threaded (a testbed run always is), so a
+/// thread-local ring-buffer sink sees every event. Panics if a trace
+/// session is already installed on this thread.
+pub fn traced_run(cfg: &TestbedConfig) -> TracedRun {
+    assert!(
+        !vf_trace::is_enabled(),
+        "traced_run: a trace session is already installed on this thread"
+    );
+    // Generously sized: a round trip emits a few dozen spans; payload
+    // TLP fan-out adds a handful more per 256-byte link MPS chunk.
+    let capacity = cfg.packets * 256 + 4096;
+    vf_trace::install(Box::new(RingBufferSink::new(capacity)));
+    let guard = SessionGuard;
+    let result = Testbed::new(cfg.clone()).run();
+    drop(guard);
+    let events = vf_trace::finish();
+    TracedRun { result, events }
+}
+
+/// Reconciliation tolerances, all in microseconds (the unit of
+/// [`vf_sim::SampleSet`] raw samples).
+///
+/// `total` is quantized to the host clock's 1 ns resolution by the
+/// recorder while the span tree keeps full picosecond bounds, so the
+/// root-span duration may differ from the recorded total by up to one
+/// quantum. `hw` and `proc` are recorded at FPGA-counter granularity
+/// and the device spans are emitted from the very same counters, so
+/// those must agree to f64 rounding only.
+const EPS_QUANTUM_US: f64 = 1.001e-3;
+const EPS_EXACT_US: f64 = 1e-6;
+
+/// Check that the per-round-trip breakdowns re-derive `result`'s sample
+/// series. Must be called while the result's sample sets are still in
+/// insertion order — i.e. before any `*_summary()` call, which sorts
+/// them in place.
+///
+/// Returns `Err` with a description of the first mismatch.
+pub fn reconcile(result: &RunResult, rtts: &[RttBreakdown]) -> Result<(), String> {
+    if rtts.len() != result.packets {
+        return Err(format!(
+            "trace has {} round trips, run recorded {}",
+            rtts.len(),
+            result.packets
+        ));
+    }
+    let totals = result.total.raw();
+    let hws = result.hw.raw();
+    let sws = result.sw.raw();
+    let procs = result.proc.raw();
+    for (i, rtt) in rtts.iter().enumerate() {
+        let dur = rtt.dur().as_us_f64();
+        if (dur - totals[i]).abs() > EPS_QUANTUM_US {
+            return Err(format!(
+                "rtt {i} ({}): root span {dur:.6} us vs recorded total {:.6} us",
+                rtt.name, totals[i]
+            ));
+        }
+        let hw = rtt.hw_time().as_us_f64();
+        if (hw - hws[i]).abs() > EPS_EXACT_US {
+            return Err(format!(
+                "rtt {i} ({}): device h2c+c2h spans {hw:.6} us vs recorded hw {:.6} us",
+                rtt.name, hws[i]
+            ));
+        }
+        let proc = rtt.proc_time().as_us_f64();
+        if (proc - procs[i]).abs() > EPS_EXACT_US {
+            return Err(format!(
+                "rtt {i} ({}): device_proc span {proc:.6} us vs recorded proc {:.6} us",
+                rtt.name, procs[i]
+            ));
+        }
+        // Serial software time is a lower bound on the sw residual: the
+        // spans cover what the host stack *did*, the residual also
+        // holds whatever idle gaps the stack left uncovered.
+        let serial = rtt.software_serial().as_us_f64();
+        if serial > sws[i] + EPS_QUANTUM_US {
+            return Err(format!(
+                "rtt {i} ({}): serial software spans {serial:.6} us exceed sw residual {:.6} us",
+                rtt.name, sws[i]
+            ));
+        }
+        for span in &rtt.spans {
+            if span.start < rtt.t0 || span.end > rtt.t1 {
+                return Err(format!(
+                    "rtt {i} ({}): span {}/{} [{}, {}] escapes [{}, {}]",
+                    rtt.name,
+                    span.layer.name(),
+                    span.name,
+                    span.start.as_ps(),
+                    span.end.as_ps(),
+                    rtt.t0.as_ps(),
+                    rtt.t1.as_ps()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::DriverKind;
+
+    #[test]
+    fn traced_run_reconciles_and_leaves_no_session() {
+        let cfg = TestbedConfig::paper(DriverKind::Virtio, 256, 10, 7);
+        let run = traced_run(&cfg);
+        assert!(!vf_trace::is_enabled(), "session must be torn down");
+        assert_eq!(run.result.packets, 10);
+        let rtts = run.breakdowns();
+        reconcile(&run.result, &rtts).unwrap();
+    }
+}

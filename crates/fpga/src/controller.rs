@@ -502,6 +502,13 @@ impl VirtioFpgaDevice {
 
         let mut t = arrival + timing.notify_decode;
         self.counters.h2c.start(arrival);
+        vf_trace::instant(
+            vf_trace::Layer::Device,
+            "notify",
+            arrival,
+            tx_queue as u64,
+            0,
+        );
 
         // Read the driver's avail index and the new ring entries in one
         // burst — idx and entries are contiguous, so the RTL fetches one
@@ -510,6 +517,7 @@ impl VirtioFpgaDevice {
         let pending = avail_idx.wrapping_sub(q.last_avail()) as usize;
         t = link.dma_read(t, layout.avail_idx_addr(), (2 + 2 * pending).min(64));
         self.stats.desc_reads += 1;
+        vf_trace::instant(vf_trace::Layer::Device, "desc_read_split", t, 0, 0);
         let mut outcome = TxOutcome::default();
         let mut staged: Vec<(Vec<u8>, Option<VirtioNetHdr>)> = Vec::new();
 
@@ -523,6 +531,13 @@ impl VirtioFpgaDevice {
                 .expect("driver published a corrupt chain");
             t = link.dma_read(t, layout.desc_addr(chain.head), 16 * fetches);
             self.stats.desc_reads += 1;
+            vf_trace::instant(
+                vf_trace::Layer::Device,
+                "desc_read_split",
+                t,
+                fetches as u64,
+                0,
+            );
             t += timing.per_desc * fetches as u64;
             // Payload DMA: read the readable buffers into BRAM, merging
             // physically adjacent buffers into single bursts (virtio-net
@@ -654,6 +669,13 @@ impl VirtioFpgaDevice {
 
         let mut t = arrival + timing.notify_decode;
         self.counters.h2c.start(arrival);
+        vf_trace::instant(
+            vf_trace::Layer::Device,
+            "notify",
+            arrival,
+            tx_queue as u64,
+            0,
+        );
         let mut outcome = TxOutcome::default();
         let mut staged: Vec<(Vec<u8>, Option<VirtioNetHdr>)> = Vec::new();
 
@@ -665,6 +687,13 @@ impl VirtioFpgaDevice {
             let Some(chain) = q.try_take(mem) else { break };
             t = link.dma_read(t, q.desc_addr(fetch_slot), 64);
             self.stats.desc_reads += 1;
+            vf_trace::instant(
+                vf_trace::Layer::Device,
+                "desc_read_packed",
+                t,
+                chain.bufs.len() as u64,
+                0,
+            );
             t += timing.per_desc * chain.bufs.len() as u64;
             // Payload DMA into BRAM, merging physically adjacent readable
             // buffers into single bursts (same RTL as the split path).
@@ -759,6 +788,13 @@ impl VirtioFpgaDevice {
         let (chain, fetches) = q.resolve_at(mem, pos).expect("corrupt RX chain");
         t = link.dma_read(t, layout.desc_addr(chain.head), 16 * fetches);
         self.stats.desc_reads += 1;
+        vf_trace::instant(
+            vf_trace::Layer::Device,
+            "desc_read_split",
+            t,
+            fetches as u64,
+            0,
+        );
         t += timing.per_desc * fetches as u64;
         q.advance();
 
@@ -836,6 +872,7 @@ impl VirtioFpgaDevice {
         let fetch_slot = q.next_slot();
         t = link.dma_read(t, q.desc_addr(fetch_slot), PackedDesc::SIZE as usize);
         self.stats.desc_reads += 1;
+        vf_trace::instant(vf_trace::Layer::Device, "desc_read_packed", t, 1, 0);
         let Some(chain) = q.try_take(mem) else {
             self.stats.rx_dropped += 1;
             let _ = self.counters.c2h.stop(t);

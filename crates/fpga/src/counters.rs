@@ -33,14 +33,18 @@ impl PerfCounter {
 
     /// Capture the interval from arm to `t`, quantized to fabric cycles
     /// (each endpoint is sampled on a cycle edge, so the measured value
-    /// is the difference of the two quantized timestamps).
-    pub fn stop(&mut self, t: Time) -> Time {
-        let start = self
-            .started_at
-            .take()
-            .expect("perf counter stopped while not running");
-        t.quantize(FPGA_CYCLE)
-            .saturating_sub(start.quantize(FPGA_CYCLE))
+    /// is the difference of the two quantized timestamps). Returns
+    /// `None` if the counter was not armed — a real counter register
+    /// would return a stale reading; modeling it as an explicit `None`
+    /// lets call sites decide (the FSMs treat it as a protocol bug and
+    /// unwrap with context).
+    #[must_use = "an unarmed stop yields no interval"]
+    pub fn stop(&mut self, t: Time) -> Option<Time> {
+        let start = self.started_at.take()?;
+        Some(
+            t.quantize(FPGA_CYCLE)
+                .saturating_sub(start.quantize(FPGA_CYCLE)),
+        )
     }
 }
 
@@ -52,19 +56,48 @@ pub struct IntervalStats {
     pub stats: Welford,
     /// Last captured interval.
     pub last: Time,
+    /// Trace name; named counters emit a device-layer span per captured
+    /// interval (e.g. `"hw_h2c"`), anonymous ones stay silent.
+    name: Option<&'static str>,
 }
 
 impl IntervalStats {
+    /// A counter whose captures are traced under `name`.
+    pub fn named(name: &'static str) -> Self {
+        IntervalStats {
+            name: Some(name),
+            ..Self::default()
+        }
+    }
+
     /// Arm at `t`.
     pub fn start(&mut self, t: Time) {
         self.counter.start(t);
     }
 
     /// Capture at `t`, folding into the aggregate; returns the interval.
+    /// An unarmed capture is ignored (interval zero, aggregate
+    /// untouched) — the paper's counters are read-on-event, and a
+    /// spurious event before arming must not corrupt the statistics.
     pub fn stop(&mut self, t: Time) -> Time {
-        let interval = self.counter.stop(t);
+        let Some(interval) = self.counter.stop(t) else {
+            return Time::ZERO;
+        };
         self.stats.add_time(interval);
         self.last = interval;
+        if let Some(name) = self.name {
+            // The counter samples both endpoints on cycle edges; the span
+            // [t_q - interval, t_q] is exactly the measured window.
+            let end = t.quantize(FPGA_CYCLE);
+            vf_trace::span_at(
+                vf_trace::Layer::Device,
+                name,
+                end.saturating_sub(interval),
+                end,
+                0,
+                0,
+            );
+        }
         interval
     }
 
@@ -76,7 +109,7 @@ impl IntervalStats {
 
 /// The counter bank the testbed reads per packet: the hardware phases of
 /// one round trip as the paper's breakdown defines them.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct RoundTripCounters {
     /// Notification arrival → request data fully on the FPGA (H2C phase).
     pub h2c: IntervalStats,
@@ -85,6 +118,16 @@ pub struct RoundTripCounters {
     /// User-logic processing (response generation) — measured so the
     /// harness can deduct it, as §IV-B prescribes.
     pub processing: IntervalStats,
+}
+
+impl Default for RoundTripCounters {
+    fn default() -> Self {
+        RoundTripCounters {
+            h2c: IntervalStats::named("hw_h2c"),
+            c2h: IntervalStats::named("hw_c2h"),
+            processing: IntervalStats::named("device_proc"),
+        }
+    }
 }
 
 impl RoundTripCounters {
@@ -104,28 +147,44 @@ mod tests {
         let mut c = PerfCounter::default();
         c.start(Time::from_ns(3));
         // 3 ns quantizes to 0; 101 ns quantizes to 96 → interval 96 ns.
-        assert_eq!(c.stop(Time::from_ns(101)), Time::from_ns(96));
+        assert_eq!(c.stop(Time::from_ns(101)), Some(Time::from_ns(96)));
     }
 
     #[test]
     fn exact_cycle_boundaries_pass_through() {
         let mut c = PerfCounter::default();
         c.start(Time::from_ns(16));
-        assert_eq!(c.stop(Time::from_ns(96)), Time::from_ns(80));
+        assert_eq!(c.stop(Time::from_ns(96)), Some(Time::from_ns(80)));
     }
 
     #[test]
     fn sub_cycle_interval_reads_zero() {
         let mut c = PerfCounter::default();
         c.start(Time::from_ns(17));
-        assert_eq!(c.stop(Time::from_ns(23)), Time::ZERO);
+        assert_eq!(c.stop(Time::from_ns(23)), Some(Time::ZERO));
     }
 
     #[test]
-    #[should_panic(expected = "not running")]
-    fn stop_without_start_panics() {
+    fn stop_without_start_returns_none() {
+        // Regression: this used to panic; an unarmed stop is now a
+        // recoverable condition surfaced in the type.
         let mut c = PerfCounter::default();
-        let _ = c.stop(Time::from_ns(8));
+        assert_eq!(c.stop(Time::from_ns(8)), None);
+        assert!(!c.running());
+        // The counter still works after the unarmed stop.
+        c.start(Time::from_ns(8));
+        assert_eq!(c.stop(Time::from_ns(24)), Some(Time::from_ns(16)));
+    }
+
+    #[test]
+    fn interval_stats_ignore_unarmed_stop() {
+        let mut s = IntervalStats::default();
+        assert_eq!(s.stop(Time::from_us(1)), Time::ZERO);
+        assert_eq!(s.count(), 0);
+        s.start(Time::ZERO);
+        s.stop(Time::from_us(2));
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.last, Time::from_us(2));
     }
 
     #[test]
@@ -138,6 +197,19 @@ mod tests {
         assert_eq!(s.count(), 10);
         assert!((s.stats.mean() - 2.0).abs() < 1e-9);
         assert_eq!(s.last, Time::from_us(2));
+    }
+
+    #[test]
+    fn named_interval_emits_device_span() {
+        vf_trace::install(Box::new(vf_trace::RingBufferSink::new(8)));
+        let mut s = IntervalStats::named("hw_h2c");
+        s.start(Time::from_ns(100));
+        s.stop(Time::from_ns(500));
+        let evs = vf_trace::finish();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].layer, vf_trace::Layer::Device);
+        assert_eq!(evs[0].name, "hw_h2c");
+        assert_eq!(evs[0].dur(), s.last);
     }
 
     #[test]

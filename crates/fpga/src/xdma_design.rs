@@ -85,8 +85,8 @@ impl XdmaExampleDesign {
             c2h: XdmaEngine::new(ChannelDir::C2H),
             card: CardStore::Bram(Bram::new(bram_bytes)),
             msix: MsixTable::new(8),
-            h2c_counter: IntervalStats::default(),
-            c2h_counter: IntervalStats::default(),
+            h2c_counter: IntervalStats::named("hw_h2c"),
+            c2h_counter: IntervalStats::named("hw_c2h"),
         }
     }
 

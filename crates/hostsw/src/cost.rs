@@ -234,40 +234,50 @@ impl CostEngine {
     /// hardirq entry + softirq (NAPI schedule → poll) latency. The
     /// virtio kernel drivers' RX entry sequence.
     pub fn irq_to_napi(&mut self) -> Time {
-        self.blocking_extra()
+        let d = self.blocking_extra()
             + self.step(self.costs.hardirq_entry)
-            + self.step(self.costs.softirq_latency)
+            + self.step(self.costs.softirq_latency);
+        vf_trace::advance(vf_trace::Layer::Irq, "irq_to_napi", d, 0);
+        d
     }
 
     /// Interrupt delivery to handler start only: blocking-wait noise +
     /// hardirq entry. Used when the handler's first act is an MMIO read
     /// (a wire stall the link model prices), as in the XDMA ISR.
     pub fn irq_entry(&mut self) -> Time {
-        self.blocking_extra() + self.step(self.costs.hardirq_entry)
+        let d = self.blocking_extra() + self.step(self.costs.hardirq_entry);
+        vf_trace::advance(vf_trace::Layer::Irq, "irq_entry", d, 0);
+        d
     }
 
     /// Interrupt that wakes a blocked task: blocking-wait noise +
     /// hardirq entry + wakeup-to-run. The "interrupt as a doorbell for a
     /// sleeper" pattern (XDMA user IRQ, PMD adaptive fallback).
     pub fn irq_wake(&mut self) -> Time {
-        self.blocking_extra()
+        let d = self.blocking_extra()
             + self.step(self.costs.hardirq_entry)
-            + self.step(self.costs.wakeup_to_run)
+            + self.step(self.costs.wakeup_to_run);
+        vf_trace::advance(vf_trace::Layer::Irq, "irq_wake", d, 0);
+        d
     }
 
     /// Enter the kernel and block: syscall entry + schedule-out. The
     /// "wait for completion" half of every blocking read.
     pub fn block_in_syscall(&mut self) -> Time {
-        self.step(self.costs.syscall_entry) + self.step(self.costs.block_schedule)
+        let d = self.step(self.costs.syscall_entry) + self.step(self.costs.block_schedule);
+        vf_trace::advance(vf_trace::Layer::Syscall, "block_in_syscall", d, 0);
+        d
     }
 
     /// Return from a send and immediately block in the paired receive:
     /// syscall exit + syscall entry + schedule-out. The request-response
     /// application's inter-syscall pivot.
     pub fn send_return_then_block(&mut self) -> Time {
-        self.step(self.costs.syscall_exit)
+        let d = self.step(self.costs.syscall_exit)
             + self.step(self.costs.syscall_entry)
-            + self.step(self.costs.block_schedule)
+            + self.step(self.costs.block_schedule);
+        vf_trace::advance(vf_trace::Layer::Syscall, "send_return_then_block", d, 0);
+        d
     }
 
     /// Paravirtualization overlay, transmit side: the guest's syscall +
@@ -275,26 +285,30 @@ impl CostEngine {
     /// guest→host copy of `bytes`. Charged on top of the host driver's
     /// own path when a workload runs inside a VM (E13).
     pub fn vhost_tx_overlay(&mut self, bytes: usize) -> Time {
-        self.step(self.costs.syscall_entry)
+        let d = self.step(self.costs.syscall_entry)
             + self.step(self.costs.udp_tx_path)
             + self.step(self.costs.virtio_xmit)
             + self.step(self.costs.vmexit_kick)
             + self.step(self.costs.wakeup_to_run)
-            + self.copy_user(bytes)
+            + self.copy_user(bytes);
+        vf_trace::advance(vf_trace::Layer::Driver, "vhost_tx_overlay", d, bytes as u64);
+        d
     }
 
     /// Paravirtualization overlay, receive side: host→guest copy of
     /// `bytes` + interrupt injection + the guest's hardirq/softirq/NAPI
     /// path + guest UDP receive + app wakeup + syscall exit.
     pub fn vhost_rx_overlay(&mut self, bytes: usize) -> Time {
-        self.copy_user(bytes)
+        let d = self.copy_user(bytes)
             + self.step(self.costs.irq_inject)
             + self.step(self.costs.hardirq_entry)
             + self.step(self.costs.softirq_latency)
             + self.step(self.costs.virtio_napi_rx)
             + self.step(self.costs.udp_rx_path)
             + self.step(self.costs.wakeup_to_run)
-            + self.step(self.costs.syscall_exit)
+            + self.step(self.costs.syscall_exit);
+        vf_trace::advance(vf_trace::Layer::Driver, "vhost_rx_overlay", d, bytes as u64);
+        d
     }
 
     /// Borrow the RNG stream (workload payload generation, ip_id, ...).

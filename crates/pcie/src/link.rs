@@ -200,6 +200,25 @@ impl PcieLink {
         let end = start + ser;
         *busy = end;
         self.count_tlp(kind, wire, dir);
+        if vf_trace::is_enabled() {
+            let name = match kind {
+                TlpKind::MemWrite => "tlp_mem_write",
+                TlpKind::MemRead => "tlp_mem_read",
+                TlpKind::CplD => "tlp_cpld",
+                TlpKind::Cpl => "tlp_cpl",
+                TlpKind::Msg => "tlp_msg",
+            };
+            let posted = matches!(kind, TlpKind::MemWrite | TlpKind::Msg) as u64;
+            let upstream = matches!(dir, Direction::Upstream) as u64;
+            vf_trace::span_at(
+                vf_trace::Layer::Link,
+                name,
+                start,
+                end,
+                wire as u64,
+                posted | (upstream << 1),
+            );
+        }
         end
     }
 
@@ -310,7 +329,9 @@ impl PcieLink {
     /// interrupt controller.
     pub fn msix_write(&mut self, now: Time) -> Time {
         let sent = self.put_tlp(now, Direction::Upstream, TlpKind::MemWrite, 4);
-        sent + self.cfg.propagation + self.cfg.rc_write_latency
+        let at_host = sent + self.cfg.propagation + self.cfg.rc_write_latency;
+        vf_trace::instant(vf_trace::Layer::Irq, "msix", at_host, 0, 0);
+        at_host
     }
 
     /// Effective device-read bandwidth in MB/s for an `len`-byte aligned

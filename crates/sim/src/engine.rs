@@ -101,6 +101,10 @@ pub enum RunOutcome {
     EventBudget,
 }
 
+/// A boxed delivery observer: called with each event's timestamp and a
+/// shared view of its message just before `World::deliver`.
+pub type DeliveryHook<M> = Box<dyn FnMut(Time, &M)>;
+
 /// A discrete-event simulation over world `W`.
 pub struct Simulation<W: World> {
     /// The modeled system; public so the harness can inspect state between
@@ -110,6 +114,7 @@ pub struct Simulation<W: World> {
     now: Time,
     seq: u64,
     delivered: u64,
+    hook: Option<DeliveryHook<W::Msg>>,
 }
 
 impl<W: World> Simulation<W> {
@@ -121,7 +126,18 @@ impl<W: World> Simulation<W> {
             now: Time::ZERO,
             seq: 0,
             delivered: 0,
+            hook: None,
         }
+    }
+
+    /// Install an observer invoked immediately before every delivery with
+    /// the event's timestamp and a shared view of its message — the seam
+    /// tracing harnesses use to anchor their clock and describe events
+    /// without the engine knowing anything about tracing. Pass `None` to
+    /// remove. The hook cannot mutate the world or the queue, so it cannot
+    /// change simulation behavior.
+    pub fn set_delivery_hook(&mut self, hook: Option<DeliveryHook<W::Msg>>) {
+        self.hook = hook;
     }
 
     /// Current simulated time (the timestamp of the last delivered event).
@@ -167,6 +183,9 @@ impl<W: World> Simulation<W> {
         };
         debug_assert!(ev.at >= self.now, "event queue went backwards");
         self.now = ev.at;
+        if let Some(hook) = self.hook.as_mut() {
+            hook(self.now, &ev.msg);
+        }
         let mut sched = Scheduler {
             now: self.now,
             staged: Vec::new(),
@@ -269,6 +288,83 @@ mod tests {
         }
         sim.run_to_idle();
         assert_eq!(sim.world.0, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fifo_tie_break_among_staged_events() {
+        // Events staged by `deliver` at the same instant must come out in
+        // the order the world staged them, interleaving correctly with
+        // events already queued for that instant.
+        struct Fanout {
+            log: Vec<u32>,
+        }
+        impl World for Fanout {
+            type Msg = u32;
+            fn deliver(&mut self, _: Time, msg: u32, sched: &mut Scheduler<u32>) {
+                self.log.push(msg);
+                if msg == 0 {
+                    // Mixed staging APIs, all landing at the same instant
+                    // (deliveries happen at 20 ns: after(0) == at(20) ==
+                    // now_msg): expect staging order 1, 2, 3.
+                    sched.after(Time::ZERO, 1);
+                    sched.at(Time::from_ns(20), 2);
+                    sched.now_msg(3);
+                }
+            }
+        }
+        let mut sim = Simulation::new(Fanout { log: Vec::new() });
+        sim.schedule(Time::from_ns(20), 0);
+        // Pre-queued event at the same instant, scheduled before delivery:
+        // FIFO puts it after msg 0 but before anything staged by it.
+        sim.schedule(Time::from_ns(20), 9);
+        sim.run_to_idle();
+        assert_eq!(sim.world.log, vec![0, 9, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_tie_break_across_generations() {
+        // Same-instant events staged by *different* deliveries interleave
+        // in global staging order, not grouped by the staging event.
+        struct TwoStage {
+            log: Vec<u32>,
+        }
+        impl World for TwoStage {
+            type Msg = u32;
+            fn deliver(&mut self, _: Time, msg: u32, sched: &mut Scheduler<u32>) {
+                self.log.push(msg);
+                if msg < 2 {
+                    sched.after(Time::from_ns(10), 10 + msg);
+                    sched.after(Time::from_ns(10), 20 + msg);
+                }
+            }
+        }
+        let mut sim = Simulation::new(TwoStage { log: Vec::new() });
+        sim.schedule(Time::ZERO, 0);
+        sim.schedule(Time::ZERO, 1);
+        sim.run_to_idle();
+        // At t=10ns: msg 0 staged (10, 20) first, then msg 1 staged (11, 21).
+        assert_eq!(sim.world.log, vec![0, 1, 10, 20, 11, 21]);
+    }
+
+    #[test]
+    fn delivery_hook_observes_every_event_in_order() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<(Time, u32)>>> = Rc::default();
+        let mut sim = Simulation::new(Countdown { log: Vec::new() });
+        let seen2 = Rc::clone(&seen);
+        sim.set_delivery_hook(Some(Box::new(move |t, msg: &u32| {
+            seen2.borrow_mut().push((t, *msg));
+        })));
+        sim.schedule(Time::from_ns(5), 2);
+        sim.run_to_idle();
+        assert_eq!(*seen.borrow(), sim.world.log);
+        // Removing the hook stops observation without disturbing the run.
+        sim.set_delivery_hook(None);
+        sim.schedule(Time::from_ns(1), 0);
+        sim.run_to_idle();
+        assert_eq!(seen.borrow().len(), 3);
+        assert_eq!(sim.world.log.len(), 4);
     }
 
     #[test]

@@ -1,0 +1,428 @@
+//! Per-round-trip latency attribution: fold a flat event stream back
+//! into one record per round trip, with per-layer time accounting that
+//! reconciles against the run-level `hw`/`sw` summaries.
+//!
+//! A round trip is delimited by a root [`Kind::Begin`]/[`Kind::End`]
+//! pair on [`Layer::App`] with no parent (emitted by
+//! `vf-core::driver_model::RoundTripRecorder`). Everything emitted
+//! between the pair (in `seq` order) is attributed to that round trip.
+//!
+//! Per-layer times are **union** lengths — overlapping spans within a
+//! layer are not double-counted — clipped to the round trip's window,
+//! so `layer_time(l) <= dur()` holds by construction. Software time can
+//! legitimately overlap device time (e.g. virtio's
+//! `send_return_then_block` runs on the CPU while the DMA engine is
+//! busy), so [`RttBreakdown::software_serial`] additionally subtracts
+//! the device-layer windows; that is the quantity comparable to the
+//! recorder's `sw = total - hw - proc` residual.
+
+use crate::{Kind, Layer, SpanId, TraceEvent};
+use vf_sim::Time;
+
+/// One completed span attributed to a round trip.
+#[derive(Clone, Debug)]
+pub struct SpanRec {
+    /// Attribution layer.
+    pub layer: Layer,
+    /// Operation name.
+    pub name: &'static str,
+    /// Start instant.
+    pub start: Time,
+    /// End instant (`end >= start`).
+    pub end: Time,
+    /// Payload scalar (byte count, queue index, ...).
+    pub a: u64,
+}
+
+impl SpanRec {
+    /// Span duration.
+    pub fn dur(&self) -> Time {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// The reconstructed attribution of one round trip.
+#[derive(Clone, Debug)]
+pub struct RttBreakdown {
+    /// Root span name (e.g. `"rtt_virtio"`).
+    pub name: &'static str,
+    /// Payload size in bytes (the root span's `a` scalar).
+    pub payload: u64,
+    /// Round-trip start (root `Begin`).
+    pub t0: Time,
+    /// Round-trip end (root `End`).
+    pub t1: Time,
+    /// All completed child spans, in emission order.
+    pub spans: Vec<SpanRec>,
+    /// Union time per layer, clipped to `[t0, t1]` (indexed by
+    /// [`Layer::idx`]).
+    pub per_layer: [Time; Layer::COUNT],
+}
+
+/// Merge a list of `(start, end)` picosecond intervals into disjoint
+/// sorted intervals.
+fn merge(mut iv: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    iv.retain(|&(s, e)| e > s);
+    iv.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+fn total(iv: &[(u64, u64)]) -> Time {
+    Time::from_ps(iv.iter().map(|&(s, e)| e - s).sum())
+}
+
+/// Subtract the merged interval set `b` from the merged interval set `a`.
+fn subtract(a: &[(u64, u64)], b: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for &(s, e) in a {
+        let mut cur = s;
+        for &(bs, be) in b {
+            if be <= cur {
+                continue;
+            }
+            if bs >= e {
+                break;
+            }
+            if bs > cur {
+                out.push((cur, bs.min(e)));
+            }
+            cur = cur.max(be);
+            if cur >= e {
+                break;
+            }
+        }
+        if cur < e {
+            out.push((cur, e));
+        }
+    }
+    out
+}
+
+impl RttBreakdown {
+    /// Total round-trip duration.
+    pub fn dur(&self) -> Time {
+        self.t1.saturating_sub(self.t0)
+    }
+
+    /// Union time attributed to `layer`, clipped to the round trip.
+    pub fn layer_time(&self, layer: Layer) -> Time {
+        self.per_layer[layer.idx()]
+    }
+
+    /// Plain sum of the durations of every span named `name`.
+    pub fn named_sum(&self, name: &str) -> Time {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur())
+            .fold(Time::ZERO, |acc, d| acc + d)
+    }
+
+    /// Hardware DMA time: the `hw_h2c` + `hw_c2h` counter windows —
+    /// the exact quantity `RunResult::hw_summary` averages.
+    pub fn hw_time(&self) -> Time {
+        self.named_sum("hw_h2c") + self.named_sum("hw_c2h")
+    }
+
+    /// Device user-logic processing time (the `device_proc` counter
+    /// window), the quantity `RunResult::proc_summary` averages.
+    pub fn proc_time(&self) -> Time {
+        self.named_sum("device_proc")
+    }
+
+    fn clipped(&self, layers: &[Layer]) -> Vec<(u64, u64)> {
+        let (lo, hi) = (self.t0.as_ps(), self.t1.as_ps());
+        merge(
+            self.spans
+                .iter()
+                .filter(|s| layers.contains(&s.layer))
+                .map(|s| (s.start.as_ps().max(lo), s.end.as_ps().min(hi)))
+                .collect(),
+        )
+    }
+
+    /// Host-software time on the critical path: the union of the
+    /// syscall, driver, and irq layers, minus any part that overlaps a
+    /// device-layer window (CPU work concurrent with DMA is not serial
+    /// latency). Comparable to the recorder's `sw` residual; always
+    /// `<= dur() - hw - proc` up to quantization.
+    pub fn software_serial(&self) -> Time {
+        let sw = self.clipped(&[Layer::Syscall, Layer::Driver, Layer::Irq]);
+        let dev = self.clipped(&[Layer::Device]);
+        total(&subtract(&sw, &dev))
+    }
+}
+
+struct OpenRoot {
+    id: SpanId,
+    name: &'static str,
+    payload: u64,
+    t0: Time,
+    spans: Vec<SpanRec>,
+    open: Vec<(SpanId, Layer, &'static str, Time, u64)>,
+}
+
+/// Reconstruct per-round-trip breakdowns from a flat event stream.
+///
+/// Events outside any root span (e.g. a ring buffer that dropped the
+/// oldest round trip's `Begin`) are discarded, as is an unterminated
+/// trailing root.
+pub fn per_rtt(events: &[TraceEvent]) -> Vec<RttBreakdown> {
+    let mut out = Vec::new();
+    let mut root: Option<OpenRoot> = None;
+    for ev in events {
+        match ev.kind {
+            Kind::Begin { id, parent } => {
+                if parent.is_none() && ev.layer == Layer::App && root.is_none() {
+                    root = Some(OpenRoot {
+                        id,
+                        name: ev.name,
+                        payload: ev.a,
+                        t0: ev.t,
+                        spans: Vec::new(),
+                        open: Vec::new(),
+                    });
+                } else if let Some(r) = root.as_mut() {
+                    r.open.push((id, ev.layer, ev.name, ev.t, ev.a));
+                }
+            }
+            Kind::End { id } => {
+                if let Some(r) = root.as_mut() {
+                    if id == r.id {
+                        let r = root.take().expect("root is Some");
+                        let mut bd = RttBreakdown {
+                            name: r.name,
+                            payload: r.payload,
+                            t0: r.t0,
+                            t1: ev.t,
+                            spans: r.spans,
+                            per_layer: [Time::ZERO; Layer::COUNT],
+                        };
+                        for layer in Layer::ALL {
+                            bd.per_layer[layer.idx()] = total(&bd.clipped(&[layer]));
+                        }
+                        out.push(bd);
+                    } else if let Some(pos) = r.open.iter().rposition(|&(oid, ..)| oid == id) {
+                        let (_, layer, name, start, a) = r.open.remove(pos);
+                        r.spans.push(SpanRec {
+                            layer,
+                            name,
+                            start,
+                            end: ev.t.max(start),
+                            a,
+                        });
+                    }
+                }
+            }
+            Kind::Span { end, .. } => {
+                if let Some(r) = root.as_mut() {
+                    r.spans.push(SpanRec {
+                        layer: ev.layer,
+                        name: ev.name,
+                        start: ev.t,
+                        end,
+                        a: ev.a,
+                    });
+                }
+            }
+            Kind::Instant => {}
+        }
+    }
+    out
+}
+
+/// Render breakdown rows as a fixed-width plain-text table (one line
+/// per round trip, times in microseconds).
+pub fn render_table(rows: &[RttBreakdown]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>4} {:<16} {:>7} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "#",
+        "rtt",
+        "payload",
+        "total_us",
+        "sysc_us",
+        "drv_us",
+        "link_us",
+        "dev_us",
+        "irq_us",
+        "hw_us"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>4} {:<16} {:>7} {:>10.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4}\n",
+            i,
+            r.name,
+            r.payload,
+            r.dur().as_us_f64(),
+            r.layer_time(Layer::Syscall).as_us_f64(),
+            r.layer_time(Layer::Driver).as_us_f64(),
+            r.layer_time(Layer::Link).as_us_f64(),
+            r.layer_time(Layer::Device).as_us_f64(),
+            r.layer_time(Layer::Irq).as_us_f64(),
+            r.hw_time().as_us_f64(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn begin(
+        seq: u64,
+        id: u64,
+        parent: u64,
+        layer: Layer,
+        name: &'static str,
+        t_ns: u64,
+        a: u64,
+    ) -> TraceEvent {
+        TraceEvent {
+            t: Time::from_ns(t_ns),
+            layer,
+            kind: Kind::Begin {
+                id: SpanId(id),
+                parent: SpanId(parent),
+            },
+            name,
+            seq,
+            a,
+            b: 0,
+        }
+    }
+
+    fn endev(seq: u64, id: u64, t_ns: u64) -> TraceEvent {
+        TraceEvent {
+            t: Time::from_ns(t_ns),
+            layer: Layer::App,
+            kind: Kind::End { id: SpanId(id) },
+            name: "",
+            seq,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    fn span(seq: u64, layer: Layer, name: &'static str, t_ns: u64, end_ns: u64) -> TraceEvent {
+        TraceEvent {
+            t: Time::from_ns(t_ns),
+            layer,
+            kind: Kind::Span {
+                id: SpanId(100 + seq),
+                parent: SpanId(1),
+                end: Time::from_ns(end_ns),
+            },
+            name,
+            seq,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn groups_spans_into_round_trips() {
+        let evs = vec![
+            begin(0, 1, 0, Layer::App, "rtt_virtio", 100, 256),
+            span(1, Layer::Syscall, "sendto", 100, 120),
+            span(2, Layer::Link, "tlp_mem_write", 125, 130),
+            span(3, Layer::Device, "hw_h2c", 130, 160),
+            endev(4, 1, 200),
+            begin(5, 2, 0, Layer::App, "rtt_virtio", 300, 256),
+            span(6, Layer::Syscall, "sendto", 300, 320),
+            endev(7, 2, 380),
+        ];
+        let rtts = per_rtt(&evs);
+        assert_eq!(rtts.len(), 2);
+        assert_eq!(rtts[0].dur(), Time::from_ns(100));
+        assert_eq!(rtts[0].payload, 256);
+        assert_eq!(rtts[0].layer_time(Layer::Syscall), Time::from_ns(20));
+        assert_eq!(rtts[0].hw_time(), Time::from_ns(30));
+        assert_eq!(rtts[1].dur(), Time::from_ns(80));
+        assert_eq!(rtts[1].spans.len(), 1);
+    }
+
+    #[test]
+    fn union_does_not_double_count_overlap() {
+        let evs = vec![
+            begin(0, 1, 0, Layer::App, "rtt", 0, 0),
+            span(1, Layer::Driver, "a", 10, 50),
+            span(2, Layer::Driver, "b", 30, 70),
+            endev(3, 1, 100),
+        ];
+        let rtts = per_rtt(&evs);
+        assert_eq!(rtts[0].layer_time(Layer::Driver), Time::from_ns(60));
+    }
+
+    #[test]
+    fn software_serial_excludes_device_overlap() {
+        // Syscall busy-spin [10,60] overlapping device window [40,80]:
+        // only [10,40] counts as serial software time.
+        let evs = vec![
+            begin(0, 1, 0, Layer::App, "rtt", 0, 0),
+            span(1, Layer::Syscall, "send_return_then_block", 10, 60),
+            span(2, Layer::Device, "hw_h2c", 40, 80),
+            endev(3, 1, 100),
+        ];
+        let rtts = per_rtt(&evs);
+        assert_eq!(rtts[0].software_serial(), Time::from_ns(30));
+        // But the raw layer time still sees the full span.
+        assert_eq!(rtts[0].layer_time(Layer::Syscall), Time::from_ns(50));
+    }
+
+    #[test]
+    fn orphan_events_and_unterminated_roots_are_dropped() {
+        let evs = vec![
+            span(0, Layer::Link, "orphan", 0, 10),
+            endev(1, 9, 20),
+            begin(2, 1, 0, Layer::App, "rtt", 100, 0),
+            span(3, Layer::Link, "tlp", 110, 120),
+            // no end: stream truncated
+        ];
+        assert!(per_rtt(&evs).is_empty());
+    }
+
+    #[test]
+    fn nested_begin_end_becomes_a_span() {
+        let evs = vec![
+            begin(0, 1, 0, Layer::App, "rtt", 0, 0),
+            begin(1, 2, 1, Layer::Irq, "softirq", 10, 0),
+            endev(2, 2, 35),
+            endev(3, 1, 50),
+        ];
+        let rtts = per_rtt(&evs);
+        assert_eq!(rtts[0].spans.len(), 1);
+        assert_eq!(rtts[0].spans[0].name, "softirq");
+        assert_eq!(rtts[0].layer_time(Layer::Irq), Time::from_ns(25));
+    }
+
+    #[test]
+    fn table_renders_one_line_per_rtt() {
+        let evs = vec![
+            begin(0, 1, 0, Layer::App, "rtt_xdma", 0, 64),
+            span(1, Layer::Device, "hw_h2c", 10, 20),
+            endev(2, 1, 40),
+        ];
+        let table = render_table(&per_rtt(&evs));
+        assert_eq!(table.lines().count(), 2);
+        assert!(table.contains("rtt_xdma"));
+        assert!(table.contains("payload"));
+    }
+
+    #[test]
+    fn interval_subtract() {
+        let a = merge(vec![(0, 100)]);
+        let b = merge(vec![(10, 20), (30, 40), (90, 150)]);
+        let d = subtract(&a, &b);
+        assert_eq!(d, vec![(0, 10), (20, 30), (40, 90)]);
+        assert_eq!(total(&d), Time::from_ps(70));
+    }
+}

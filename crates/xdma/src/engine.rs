@@ -170,6 +170,13 @@ impl XdmaEngine {
             }
             // Descriptor fetch: one 32-byte read from host memory.
             t = link.dma_read(t, addr, XdmaDesc::SIZE as usize);
+            vf_trace::instant(
+                vf_trace::Layer::Device,
+                "xdma_desc_fetch",
+                t,
+                XdmaDesc::SIZE,
+                0,
+            );
             let desc = XdmaDesc::read_from(host, addr).ok_or(EngineError::BadMagic { addr })?;
             t += self.timing.per_desc;
             let len = desc.len as usize;
