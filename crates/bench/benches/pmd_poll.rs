@@ -76,7 +76,7 @@ fn bench_ring_batch(c: &mut Criterion) {
                             .unwrap()
                     })
                     .collect();
-                drv.publish_batch(&mut mem, &heads);
+                drv.publish_batch(&mut mem, &heads).unwrap();
                 while let Some(chain) = dev.pop_chain(&mem).unwrap() {
                     dev.complete(&mut mem, chain.head, 64);
                 }

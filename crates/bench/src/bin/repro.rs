@@ -104,6 +104,7 @@ fn main() {
             "pmd",
             "pmd-crossover",
             "packed",
+            "mq",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -226,6 +227,14 @@ fn main() {
             "packed" => {
                 println!("{}", render_packed(&experiments::packed_ring(params)));
             }
+            "mq" => {
+                for payload in [256usize, 1024] {
+                    println!(
+                        "{}",
+                        render_mq(payload, &experiments::mq_scaling(params, payload))
+                    );
+                }
+            }
             "trace" => {
                 let out = out_path
                     .clone()
@@ -281,6 +290,37 @@ fn run_trace_artifact(out: &PathBuf, packets: usize, seed: u64) {
         print!("{}", vf_trace::render_table(&rtts[..rtts.len().min(5)]));
         tracks.push((driver.name(), run.events));
     }
+
+    // E19 multi-queue: one Perfetto track per queue pair. The serial MQ
+    // world round-robins packets over the pairs, so round-trip windows
+    // never overlap and every event inside a window belongs to the pair
+    // named by its root span. Bring-up events before the first round
+    // trip carry no queue identity and are left out of the export.
+    let mut mq_cfg = TestbedConfig::paper(DriverKind::VirtioMq, 256, packets, seed.wrapping_add(4));
+    mq_cfg.options.mq_queue_pairs = 2;
+    let run = traced_run(&mq_cfg);
+    let rtts = run.breakdowns();
+    reconcile(&run.result, &rtts)
+        .unwrap_or_else(|e| panic!("VirtIO-MQ trace fails reconciliation: {e}"));
+    println!();
+    println!(
+        "VirtIO-MQ (2 queue pairs) — spans reconcile; first {} round trips:",
+        rtts.len().min(5)
+    );
+    print!("{}", vf_trace::render_table(&rtts[..rtts.len().min(5)]));
+    let mut per_queue: Vec<Vec<vf_trace::TraceEvent>> = vec![Vec::new(), Vec::new()];
+    for ev in &run.events {
+        let idx = rtts.partition_point(|r| r.t1 < ev.t);
+        if let Some(rtt) = rtts.get(idx) {
+            if ev.t >= rtt.t0 {
+                let q = if rtt.name.ends_with("q0") { 0 } else { 1 };
+                per_queue[q].push(ev.clone());
+            }
+        }
+    }
+    tracks.push(("VirtIO-MQ q0", per_queue.remove(0)));
+    tracks.push(("VirtIO-MQ q1", per_queue.remove(0)));
+
     let refs: Vec<(&str, &[vf_trace::TraceEvent])> =
         tracks.iter().map(|(n, e)| (*n, e.as_slice())).collect();
     std::fs::write(out, vf_trace::chrome_trace_json_multi(&refs)).expect("writing trace JSON");
@@ -354,6 +394,6 @@ fn print_usage() {
          artifacts: fig3 fig4 fig5 table1 portability xdma-irq-ablation\n\
          \u{20}          virtio-features bypass devtypes csum-offload noise-sweep\n\
          \u{20}          pipeline deployment card-memory pmd pmd-crossover packed\n\
-         \u{20}          trace all"
+         \u{20}          mq trace all"
     );
 }

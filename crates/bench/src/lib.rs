@@ -298,6 +298,28 @@ pub fn render_packed(rows: &[PackedRow]) -> String {
     out
 }
 
+/// Render one payload's E19 multi-queue scaling sweep.
+pub fn render_mq(payload: usize, rows: &[virtio_fpga::experiments::MqRow]) -> String {
+    let mut out = format!(
+        "E19 — Multi-queue scaling ({payload} B payload, depth {}/queue)\nqueues | aggregate pps | speedup | latency(us) | doorbells/pkt | irqs/pkt | link up/down\n-------+---------------+---------+-------------+---------------+----------+-------------\n",
+        virtio_fpga::experiments::MQ_SWEEP_DEPTH
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>6} | {:>13.0} | {:>7.2} | {:>11.1} | {:>13.3} | {:>8.3} | {:>4.0}% / {:>3.0}%\n",
+            r.queues,
+            r.pps,
+            r.speedup,
+            r.latency_us,
+            r.doorbells_per_packet,
+            r.irqs_per_packet,
+            r.link_util_up * 100.0,
+            r.link_util_down * 100.0
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +368,21 @@ mod tests {
         let s = render_packed(&experiments::packed_ring(params));
         assert!(s.contains("packed"));
         assert_eq!(s.lines().count(), 3 + 10); // title + 2 header + 5×2 rows
+    }
+
+    #[test]
+    fn mq_renders_and_scales() {
+        let params = ExperimentParams {
+            packets: 600,
+            seed: 31,
+            threads: 8,
+        };
+        let rows = experiments::mq_scaling(params, 256);
+        let s = render_mq(256, &rows);
+        assert!(s.contains("E19"));
+        assert_eq!(s.lines().count(), 3 + 5); // title + 2 header + 5 queue counts
+        assert!((rows[0].speedup - 1.0).abs() < 1e-12);
+        assert!(rows[1].pps > rows[0].pps, "2 queues must beat 1");
     }
 
     #[test]

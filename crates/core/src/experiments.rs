@@ -920,6 +920,72 @@ pub fn packed_ring(params: ExperimentParams) -> Vec<PackedRow> {
         .collect()
 }
 
+/// One queue-count row of the E19 multi-queue scaling sweep.
+pub struct MqRow {
+    /// Active queue pairs.
+    pub queues: u16,
+    /// Aggregate throughput across all pairs (packets/s).
+    pub pps: f64,
+    /// Aggregate speedup over the single-pair run at the same payload.
+    pub speedup: f64,
+    /// Mean round-trip latency pooled over every pair (µs).
+    pub latency_us: f64,
+    /// Doorbell MMIO writes per packet (per-queue EVENT_IDX coalescing).
+    pub doorbells_per_packet: f64,
+    /// MSI-X interrupts per packet.
+    pub irqs_per_packet: f64,
+    /// Fraction of the run the upstream (device→host) wire was busy.
+    pub link_util_up: f64,
+    /// Fraction of the run the downstream (host→device) wire was busy.
+    pub link_util_down: f64,
+}
+
+/// Pipeline depth per queue used by the E19 sweep (the knee of the E12
+/// depth curve: suppression fully engaged, ring nowhere near full).
+pub const MQ_SWEEP_DEPTH: usize = 16;
+
+/// E19: multi-queue virtio-net scaling — `VIRTIO_NET_F_MQ` with one
+/// flow, one MSI-X vector, and one host core per queue pair, swept over
+/// pair counts at a fixed payload. Each pair runs the E12 pipelined
+/// workload; the device walks all rings through per-pair DMA tag
+/// contexts that share wire bandwidth but not latency chains. Small
+/// frames stay ring-walker-limited (near-linear scaling), while at the
+/// top of the sweep large frames push the Gen2 x2 upstream wire toward
+/// saturation — the crossover where the *link*, not the walker, caps
+/// aggregate throughput.
+pub fn mq_scaling(params: ExperimentParams, payload: usize) -> Vec<MqRow> {
+    let queues = [1u16, 2, 4, 8, 16];
+    let configs: Vec<TestbedConfig> = queues
+        .iter()
+        .map(|&q| {
+            let mut cfg =
+                TestbedConfig::paper(DriverKind::VirtioMq, payload, params.packets, params.seed);
+            cfg.options.mq_queue_pairs = q;
+            cfg
+        })
+        .collect();
+    let results = parallel_map(configs, params.threads, |cfg| {
+        crate::mq::run_mq(cfg, MQ_SWEEP_DEPTH)
+    });
+    let base_pps = results[0].pps;
+    results
+        .into_iter()
+        .map(|mut r| {
+            assert_eq!(r.verify_failures, 0);
+            MqRow {
+                queues: r.queues,
+                pps: r.pps,
+                speedup: r.pps / base_pps,
+                latency_us: r.mean_latency_us(),
+                doorbells_per_packet: r.doorbells_per_packet(),
+                irqs_per_packet: r.irqs_per_packet(),
+                link_util_up: r.link_util_up,
+                link_util_down: r.link_util_down,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,8 @@
 //! * [`testbed`] — the discrete-event worlds for both driver stacks;
 //! * [`pmd`] — the third contender: the `vf-pmd` userspace kernel-bypass
 //!   poll-mode driver world (E15/E16);
+//! * [`mq`] — the multi-queue virtio-net scaling worlds (E19): N queue
+//!   pairs, per-queue MSI-X, one simulated host core per pair;
 //! * [`report`] — sample sets, summaries, table rendering;
 //! * [`experiments`] — one function per paper artifact (Fig. 3, Fig. 4,
 //!   Fig. 5, Table I) plus the extension experiments E5–E11.
@@ -32,6 +34,7 @@
 pub mod calibration;
 pub mod driver_model;
 pub mod experiments;
+pub mod mq;
 pub mod pipeline;
 pub mod pmd;
 pub mod report;
@@ -40,6 +43,7 @@ pub mod traced;
 
 pub use calibration::Calibration;
 pub use driver_model::{run_world, DriverModel, RoundTripRecorder, RunStats};
+pub use mq::{run_mq, MqThroughputResult, MAX_QUEUE_PAIRS};
 pub use pipeline::{run_pipelined, xdma_serial_pps, ThroughputResult};
 pub use pmd::{run_pmd, PmdRun};
 pub use report::{render_breakdown, render_table1, RunResult};

@@ -53,6 +53,11 @@ pub enum DriverKind {
     /// but one descriptor ring per queue that the device fetches with
     /// fewer PCIe reads.
     VirtioPacked,
+    /// Multi-queue in-kernel VirtIO driver (`VIRTIO_NET_F_MQ`, E19):
+    /// N RX/TX queue pairs plus the control virtqueue, each pair's
+    /// MSI-X vector pinned to its own simulated host core. Pair count
+    /// comes from [`TestbedOptions::mq_queue_pairs`].
+    VirtioMq,
 }
 
 impl DriverKind {
@@ -63,6 +68,7 @@ impl DriverKind {
             DriverKind::Xdma => "XDMA",
             DriverKind::VirtioPmd => "VirtIO-PMD",
             DriverKind::VirtioPacked => "VirtIO-packed",
+            DriverKind::VirtioMq => "VirtIO-MQ",
         }
     }
 }
@@ -102,6 +108,11 @@ pub struct TestbedOptions {
     /// timed from the previous send. `None` (default) runs closed-loop
     /// back-to-back like the other drivers.
     pub pmd_send_interval: Option<Time>,
+    /// E19 (`DriverKind::VirtioMq` only): RX/TX queue pairs to
+    /// negotiate and activate via `VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET`.
+    /// Must be a power of two ≤ 8 (the flow-steering hash pins flow
+    /// *i* to pair *i* only for power-of-two counts).
+    pub mq_queue_pairs: u16,
 }
 
 impl Default for TestbedOptions {
@@ -116,6 +127,7 @@ impl Default for TestbedOptions {
             card_memory: CardKind::Bram,
             pmd_adaptive_idle: None,
             pmd_send_interval: None,
+            mq_queue_pairs: 1,
         }
     }
 }
@@ -1187,6 +1199,7 @@ impl Testbed {
         match self.cfg.driver {
             DriverKind::Virtio | DriverKind::VirtioPacked => run_world::<VirtioWorld>(&self.cfg).0,
             DriverKind::VirtioPmd => crate::pmd::run_pmd(&self.cfg).result,
+            DriverKind::VirtioMq => run_world::<crate::mq::MqWorld>(&self.cfg).0,
             DriverKind::Xdma => run_world::<XdmaWorld>(&self.cfg).0,
         }
     }

@@ -210,6 +210,8 @@ pub struct DeviceStats {
     pub desc_reads: u64,
     /// Block requests served.
     pub blk_requests: u64,
+    /// Control-virtqueue commands processed (MQ configuration etc.).
+    pub ctrl_commands: u64,
 }
 
 /// The complete VirtIO FPGA device.
@@ -243,6 +245,9 @@ pub struct VirtioFpgaDevice {
     /// Shadow of host-written MSI-X table fields (addr, data per
     /// vector), applied on the vector-control write.
     msix_shadow: Vec<(u64, u32)>,
+    /// Active RX/TX queue pairs the flow-steering walker spreads
+    /// traffic over; set by the ctrl-vq `MQ_VQ_PAIRS_SET` command.
+    active_pairs: u16,
 }
 
 impl VirtioFpgaDevice {
@@ -334,6 +339,7 @@ impl VirtioFpgaDevice {
             counters: RoundTripCounters::default(),
             stats: DeviceStats::default(),
             msix_shadow: Vec::new(),
+            active_pairs: 1,
         }
     }
 
@@ -488,6 +494,7 @@ impl VirtioFpgaDevice {
         mem: &mut HostMemory,
         link: &mut PcieLink,
     ) -> TxOutcome {
+        link.select_dma_context(tx_queue as usize);
         if self.packed_queues[tx_queue as usize].is_some() {
             return self.process_tx_notify_packed(arrival, tx_queue, mem, link);
         }
@@ -756,6 +763,7 @@ impl VirtioFpgaDevice {
         mem: &mut HostMemory,
         link: &mut PcieLink,
     ) -> RxOutcome {
+        link.select_dma_context(rx_queue as usize);
         if self.packed_queues[rx_queue as usize].is_some() {
             return self.deliver_response_packed(ready_at, rx_queue, response, mem, link);
         }
@@ -939,6 +947,7 @@ impl VirtioFpgaDevice {
         mem: &mut HostMemory,
         link: &mut PcieLink,
     ) -> RxOutcome {
+        link.select_dma_context(queue as usize);
         let timing = self.timing;
         let q = self.queues[queue as usize]
             .as_mut()
@@ -1007,6 +1016,7 @@ impl VirtioFpgaDevice {
         mem: &mut HostMemory,
         link: &mut PcieLink,
     ) -> RxOutcome {
+        link.select_dma_context(queue as usize);
         let timing = self.timing;
         let q = self.queues[queue as usize]
             .as_mut()
@@ -1055,6 +1065,114 @@ impl VirtioFpgaDevice {
             done_at: t,
             delivered: any,
         }
+    }
+
+    /// Queue pairs the flow-steering walker currently spreads RX
+    /// traffic over (1 until the driver raises it via the ctrl vq).
+    pub fn active_queue_pairs(&self) -> u16 {
+        self.active_pairs
+    }
+
+    /// Process a doorbell on the net control virtqueue: walk each
+    /// pending chain, decode the `{class, command, data..., ack}`
+    /// layout, apply `MQ_VQ_PAIRS_SET`, and write the ack byte back.
+    /// Unknown or malformed commands ack `ERR` (VirtIO 1.2 §5.1.6.5).
+    pub fn process_ctrl_notify(
+        &mut self,
+        arrival: Time,
+        queue: u16,
+        mem: &mut HostMemory,
+        link: &mut PcieLink,
+    ) -> RxOutcome {
+        let max_pairs = match &self.persona {
+            Persona::Net { cfg } => cfg.max_virtqueue_pairs,
+            _ => panic!("ctrl notify on a non-net persona"),
+        };
+        link.select_dma_context(queue as usize);
+        let timing = self.timing;
+        let q = self.queues[queue as usize]
+            .as_mut()
+            .expect("ctrl queue not enabled");
+        let layout = *q.layout();
+        let mut t = arrival + timing.notify_decode;
+        let avail_idx = q.fetch_avail_idx(mem);
+        let pending = avail_idx.wrapping_sub(q.last_avail()) as usize;
+        t = link.dma_read(t, layout.avail_idx_addr(), (2 + 2 * pending).min(64));
+        self.stats.desc_reads += 1;
+        let mut irq_at = None;
+        let mut any = false;
+        let mut new_pairs = None;
+        while q.last_avail() != avail_idx {
+            let pos = q.last_avail();
+            let (chain, fetches) = q.resolve_at(mem, pos).expect("corrupt ctrl chain");
+            t = link.dma_read(t, layout.desc_addr(chain.head), 16 * fetches);
+            self.stats.desc_reads += 1;
+            t += timing.per_desc * fetches as u64;
+            q.advance();
+            // Gather the readable command bytes: class, command, data.
+            let mut cmd = Vec::new();
+            for buf in chain.bufs.iter().filter(|b| !b.writable) {
+                cmd.extend_from_slice(mem.slice(buf.addr, buf.len as usize));
+                t = link.dma_read(t, buf.addr, buf.len as usize);
+            }
+            let ack = chain
+                .bufs
+                .iter()
+                .rev()
+                .find(|b| b.writable)
+                .expect("ctrl chain needs a writable ack buffer");
+            let status = match (cmd.first(), cmd.get(1)) {
+                (Some(&net::ctrl::CLASS_MQ), Some(&net::ctrl::MQ_VQ_PAIRS_SET))
+                    if cmd.len() >= 4 =>
+                {
+                    let pairs = u16::from_le_bytes([cmd[2], cmd[3]]);
+                    if (1..=max_pairs).contains(&pairs) {
+                        new_pairs = Some(pairs);
+                        net::ctrl::OK
+                    } else {
+                        net::ctrl::ERR
+                    }
+                }
+                _ => net::ctrl::ERR,
+            };
+            GuestMemory::write(mem, ack.addr, &[status]);
+            t = link.dma_write(t, ack.addr, 1);
+            self.stats.ctrl_commands += 1;
+            let old_used = q.complete(mem, chain.head, 1);
+            t = link.dma_write(t, layout.used_ring_addr(old_used % layout.size), 8);
+            t = link.dma_write(t, layout.used_idx_addr(), 2);
+            if q.should_interrupt(mem, old_used) {
+                if let Some(_msg) = self.msix.fire(queue as usize) {
+                    irq_at = Some(link.msix_write(t));
+                    self.stats.irqs_sent += 1;
+                }
+            }
+            any = true;
+        }
+        if let Some(p) = new_pairs {
+            self.active_pairs = p;
+        }
+        RxOutcome {
+            irq_at,
+            done_at: t,
+            delivered: any,
+        }
+    }
+
+    /// RSS-style flow steering: hash the response frame's UDP
+    /// destination port across the active queue pairs and return the
+    /// RX queue index (`2 * pair`) the frame belongs on. With the
+    /// testbed's flow layout (per-flow source ports at a power-of-two
+    /// aligned base) this pins flow *i* to pair *i*, so each simulated
+    /// host core services exactly one queue.
+    pub fn rss_steer(&self, frame: &[u8]) -> u16 {
+        let pairs = self.active_pairs.max(1);
+        // Ethernet(14) + IPv4(20) + UDP dst port at bytes 36..38.
+        if pairs == 1 || frame.len() < 38 {
+            return net::RX_QUEUE;
+        }
+        let dst_port = u16::from_be_bytes([frame[36], frame[37]]);
+        net::rx_queue_of_pair(dst_port % pairs)
     }
 
     /// Driver-bypass DMA read (§III-A): user logic pulls `len` bytes from
@@ -1248,6 +1366,180 @@ mod tests {
         let mac_lo = dev.mmio_read(bar0::DEVICE_CFG, 4) as u32;
         assert_eq!(mac_lo.to_le_bytes()[0], 0x02);
         assert_eq!(dev.mmio_read(bar0::DEVICE_CFG + 10, 2), 1500);
+    }
+
+    /// Bring up only the ctrl virtqueue of a 2-pair MQ net device.
+    fn mq_ctrl_bring_up(dev: &mut VirtioFpgaDevice, mem: &mut HostMemory) -> (DriverQueue, u16) {
+        use common as c;
+        let ctrl_q = net::ctrl_queue_index(2);
+        dev.mmio_write(bar0::COMMON + c::DEVICE_STATUS, 1, 0);
+        dev.mmio_write(
+            bar0::COMMON + c::DEVICE_STATUS,
+            1,
+            status::ACKNOWLEDGE as u64,
+        );
+        dev.mmio_write(
+            bar0::COMMON + c::DEVICE_STATUS,
+            1,
+            (status::ACKNOWLEDGE | status::DRIVER) as u64,
+        );
+        let accept =
+            feature::VERSION_1 | feature::RING_EVENT_IDX | net::feature::CTRL_VQ | net::feature::MQ;
+        dev.mmio_write(bar0::COMMON + c::DRIVER_FEATURE_SELECT, 4, 0);
+        dev.mmio_write(bar0::COMMON + c::DRIVER_FEATURE, 4, accept & 0xFFFF_FFFF);
+        dev.mmio_write(bar0::COMMON + c::DRIVER_FEATURE_SELECT, 4, 1);
+        dev.mmio_write(bar0::COMMON + c::DRIVER_FEATURE, 4, accept >> 32);
+        dev.mmio_write(
+            bar0::COMMON + c::DEVICE_STATUS,
+            1,
+            (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK) as u64,
+        );
+        let base = mem.alloc(
+            VirtqueueLayout::contiguous(0, 64).total_bytes() as usize,
+            4096,
+        );
+        let layout = VirtqueueLayout::contiguous(base, 64);
+        dev.mmio_write(bar0::COMMON + c::QUEUE_SELECT, 2, ctrl_q as u64);
+        dev.mmio_write(bar0::COMMON + c::QUEUE_SIZE, 2, 64);
+        dev.mmio_write(bar0::COMMON + c::QUEUE_MSIX_VECTOR, 2, ctrl_q as u64);
+        dev.mmio_write(
+            bar0::COMMON + c::QUEUE_DESC_LO,
+            4,
+            layout.desc & 0xFFFF_FFFF,
+        );
+        dev.mmio_write(
+            bar0::COMMON + c::QUEUE_DRIVER_LO,
+            4,
+            layout.avail & 0xFFFF_FFFF,
+        );
+        dev.mmio_write(
+            bar0::COMMON + c::QUEUE_DEVICE_LO,
+            4,
+            layout.used & 0xFFFF_FFFF,
+        );
+        assert_eq!(
+            dev.mmio_write(bar0::COMMON + c::QUEUE_ENABLE, 2, 1),
+            Some(MmioEvent::QueueEnabled(ctrl_q))
+        );
+        dev.mmio_write(
+            bar0::COMMON + c::DEVICE_STATUS,
+            1,
+            (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::DRIVER_OK) as u64,
+        );
+        (DriverQueue::new(mem, layout, true), ctrl_q)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn ctrl_command(
+        dev: &mut VirtioFpgaDevice,
+        mem: &mut HostMemory,
+        link: &mut PcieLink,
+        ctrl: &mut DriverQueue,
+        ctrl_q: u16,
+        class: u8,
+        cmd: u8,
+        pairs: u16,
+    ) -> u8 {
+        let cmd_buf = mem.alloc(4, 16);
+        let ack_buf = mem.alloc(1, 1);
+        GuestMemory::write(mem, cmd_buf, &[class, cmd]);
+        GuestMemory::write(mem, cmd_buf + 2, &pairs.to_le_bytes());
+        GuestMemory::write(mem, ack_buf, &[0xAA]);
+        ctrl.add_and_publish(
+            mem,
+            &[
+                BufferSpec::readable(cmd_buf, 2),
+                BufferSpec::readable(cmd_buf + 2, 2),
+                BufferSpec::writable(ack_buf, 1),
+            ],
+        )
+        .unwrap();
+        dev.mmio_write(
+            bar0::NOTIFY + ctrl_q as u64 * bar0::NOTIFY_MULTIPLIER as u64,
+            2,
+            ctrl_q as u64,
+        );
+        let out = dev.process_ctrl_notify(Time::ZERO, ctrl_q, mem, link);
+        assert!(out.delivered);
+        assert!(ctrl.pop_used(mem).is_some());
+        mem.slice(ack_buf, 1)[0]
+    }
+
+    fn mq_net_device(pairs: u16) -> VirtioFpgaDevice {
+        VirtioFpgaDevice::new(
+            Persona::Net {
+                cfg: VirtioNetConfig::with_queue_pairs(pairs),
+            },
+            net::feature::MAC | net::feature::STATUS | net::feature::CTRL_VQ | net::feature::MQ,
+            &vec![64; 2 * pairs as usize + 1],
+            Box::new(UdpEcho::default()),
+        )
+    }
+
+    #[test]
+    fn ctrl_vq_sets_active_queue_pairs() {
+        let mut dev = mq_net_device(2);
+        let mut mem = HostMemory::testbed_default();
+        let mut link = PcieLink::new(LinkConfig::gen2_x2());
+        let (mut ctrl, ctrl_q) = mq_ctrl_bring_up(&mut dev, &mut mem);
+        assert_eq!(dev.active_queue_pairs(), 1);
+        let ack = ctrl_command(
+            &mut dev,
+            &mut mem,
+            &mut link,
+            &mut ctrl,
+            ctrl_q,
+            net::ctrl::CLASS_MQ,
+            net::ctrl::MQ_VQ_PAIRS_SET,
+            2,
+        );
+        assert_eq!(ack, net::ctrl::OK);
+        assert_eq!(dev.active_queue_pairs(), 2);
+        assert_eq!(dev.stats.ctrl_commands, 1);
+    }
+
+    #[test]
+    fn ctrl_vq_rejects_out_of_range_and_unknown_commands() {
+        let mut dev = mq_net_device(2);
+        let mut mem = HostMemory::testbed_default();
+        let mut link = PcieLink::new(LinkConfig::gen2_x2());
+        let (mut ctrl, ctrl_q) = mq_ctrl_bring_up(&mut dev, &mut mem);
+        // More pairs than the device advertises.
+        let ack = ctrl_command(
+            &mut dev,
+            &mut mem,
+            &mut link,
+            &mut ctrl,
+            ctrl_q,
+            net::ctrl::CLASS_MQ,
+            net::ctrl::MQ_VQ_PAIRS_SET,
+            5,
+        );
+        assert_eq!(ack, net::ctrl::ERR);
+        assert_eq!(dev.active_queue_pairs(), 1);
+        // Unknown class.
+        let ack = ctrl_command(&mut dev, &mut mem, &mut link, &mut ctrl, ctrl_q, 0x7F, 0, 2);
+        assert_eq!(ack, net::ctrl::ERR);
+        assert_eq!(dev.active_queue_pairs(), 1);
+        assert_eq!(dev.stats.ctrl_commands, 2);
+    }
+
+    #[test]
+    fn rss_steering_pins_flows_to_pairs() {
+        let mut dev = mq_net_device(4);
+        // Single active pair: everything lands on receiveq1.
+        let mut frame = udp_frame(32);
+        frame[36..38].copy_from_slice(&40_001u16.to_be_bytes());
+        assert_eq!(dev.rss_steer(&frame), net::RX_QUEUE);
+        // Four active pairs: dst port selects the pair; the testbed's
+        // 40_000-based flow ports map flow i to pair i.
+        dev.active_pairs = 4;
+        for flow in 0..4u16 {
+            frame[36..38].copy_from_slice(&(40_000 + flow).to_be_bytes());
+            assert_eq!(dev.rss_steer(&frame), net::rx_queue_of_pair(flow));
+        }
+        // Runt frames fall back to the first queue.
+        assert_eq!(dev.rss_steer(&frame[..20]), net::RX_QUEUE);
     }
 
     #[test]

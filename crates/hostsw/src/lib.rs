@@ -13,6 +13,10 @@
 //!   `vf-virtio` rings;
 //! * [`virtio_packed`] — the same front end over the VirtIO 1.2
 //!   *packed* virtqueue layout (experiment E17);
+//! * [`virtio_mq`] — the `VIRTIO_NET_F_MQ` multi-queue front end: N
+//!   queue pairs plus the control virtqueue (experiment E19);
+//! * [`multicore`] — per-CPU cost/scheduler contexts so each queue
+//!   pair's NAPI work runs on its own simulated core;
 //! * [`xdma_char`] — the vendor reference character-device driver
 //!   (per-transfer pin/map, descriptor build, MMIO programming, ISR).
 //!
@@ -39,15 +43,18 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod multicore;
 pub mod netcfg;
 pub mod packet;
 pub mod udp;
 pub mod virtio_console;
+pub mod virtio_mq;
 pub mod virtio_net;
 pub mod virtio_packed;
 pub mod xdma_char;
 
 pub use cost::{CostEngine, HostCosts, HOST_CPU_GHZ};
+pub use multicore::{CpuContext, MultiCoreHost};
 pub use netcfg::{ArpCache, Route, RoutingTable};
 pub use packet::{
     build_udp_frame, parse_udp_frame, udp_checksum, Ipv4Addr, MacAddr, ParseError, ParsedUdp,
@@ -55,6 +62,7 @@ pub use packet::{
 };
 pub use udp::{SockError, UdpStack};
 pub use virtio_console::VirtioConsoleDriver;
+pub use virtio_mq::{probe_mq, MqProbeOutcome, VirtioNetMqDriver, CTRL_QUEUE_SIZE};
 pub use virtio_net::{
     probe, ProbeError, ProbeOutcome, RxFrame, VirtioNetDriver, VirtioTransport, XmitResult,
 };

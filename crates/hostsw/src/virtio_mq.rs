@@ -1,0 +1,388 @@
+//! Multi-queue virtio-net front end (`VIRTIO_NET_F_MQ`).
+//!
+//! Wraps N independent [`VirtioNetDriver`] queue pairs (each pair owns
+//! its rings, TX slabs, and pre-posted RX buffers exactly like the
+//! single-queue driver) plus the control virtqueue through which the
+//! driver tells the device how many pairs to spread flows over
+//! (VirtIO 1.2 §5.1.6.5.5). Queue numbering follows §5.1.2: pair *i*
+//! is `receiveq` `2i` / `transmitq` `2i+1`, ctrl vq last.
+//!
+//! [`probe_mq`] runs the same modern-PCI bring-up as the single-queue
+//! [`probe`](crate::virtio_net::probe), but programs `2N + 1` queues,
+//! giving every queue its own MSI-X vector (vector = queue index) so
+//! each pair's completions interrupt a different host core.
+
+use vf_pcie::HostMemory;
+use vf_sim::Time;
+use vf_virtio::driver_queue::{BufferSpec, DriverQueue};
+use vf_virtio::pci::common;
+use vf_virtio::ring::VirtqueueLayout;
+use vf_virtio::{feature as core_feature, net, status, GuestMemory};
+
+use crate::cost::CostEngine;
+use crate::virtio_net::{ProbeError, RxFrame, VirtioNetDriver, VirtioTransport, XmitResult};
+
+/// Ring size of the control virtqueue — commands are rare and serial,
+/// so it stays small regardless of the data-queue depth.
+pub const CTRL_QUEUE_SIZE: u16 = 64;
+
+/// Result of the MQ probe sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MqProbeOutcome {
+    /// Negotiated feature bits.
+    pub features: u64,
+    /// Station MAC from device config.
+    pub mac: [u8; 6],
+    /// Device MTU from device config.
+    pub mtu: u16,
+    /// `max_virtqueue_pairs` from device config.
+    pub max_pairs: u16,
+}
+
+/// The multi-queue driver: N data-queue pairs plus the control queue.
+#[derive(Clone, Debug)]
+pub struct VirtioNetMqDriver {
+    /// One fully-independent single-queue driver per pair.
+    pub pairs: Vec<VirtioNetDriver>,
+    /// Driver side of the control virtqueue.
+    pub ctrl: DriverQueue,
+    /// Negotiated feature bits.
+    pub features: u64,
+    ctrl_cmd_buf: u64,
+    ctrl_ack_buf: u64,
+}
+
+impl VirtioNetMqDriver {
+    /// Allocate `pairs` queue pairs of `queue_size` descriptors each,
+    /// plus the control ring and its command/ack bounce buffers.
+    pub fn init(mem: &mut HostMemory, queue_size: u16, pairs: u16, features: u64) -> Self {
+        assert!(pairs >= 1, "need at least one queue pair");
+        let event_idx = features & core_feature::RING_EVENT_IDX != 0;
+        let pair_drivers = (0..pairs)
+            .map(|_| VirtioNetDriver::init(mem, queue_size, features))
+            .collect();
+        let ctrl_ring = mem.alloc(
+            VirtqueueLayout::contiguous(0, CTRL_QUEUE_SIZE).total_bytes() as usize,
+            4096,
+        );
+        let ctrl = DriverQueue::new(
+            mem,
+            VirtqueueLayout::contiguous(ctrl_ring, CTRL_QUEUE_SIZE),
+            event_idx,
+        );
+        let ctrl_cmd_buf = mem.alloc(16, 16);
+        let ctrl_ack_buf = mem.alloc(1, 1);
+        VirtioNetMqDriver {
+            pairs: pair_drivers,
+            ctrl,
+            features,
+            ctrl_cmd_buf,
+            ctrl_ack_buf,
+        }
+    }
+
+    /// Number of queue pairs this driver instance drives.
+    pub fn num_pairs(&self) -> u16 {
+        self.pairs.len() as u16
+    }
+
+    /// Queue index of this driver's control virtqueue, given the
+    /// device's advertised `max_virtqueue_pairs`.
+    pub fn ctrl_queue_index(&self, max_pairs: u16) -> u16 {
+        net::ctrl_queue_index(max_pairs)
+    }
+
+    /// Ring layout of the control queue (for device programming).
+    pub fn ctrl_layout(&self) -> VirtqueueLayout {
+        *self.ctrl.layout()
+    }
+
+    /// Transmit `frame` on queue pair `pair`.
+    pub fn xmit(
+        &mut self,
+        mem: &mut HostMemory,
+        pair: u16,
+        frame: &[u8],
+        cost: &mut CostEngine,
+    ) -> XmitResult {
+        self.pairs[pair as usize].xmit(mem, frame, cost)
+    }
+
+    /// NAPI poll of queue pair `pair`'s RX ring.
+    pub fn napi_poll(
+        &mut self,
+        mem: &mut HostMemory,
+        pair: u16,
+        cost: &mut CostEngine,
+    ) -> (Vec<RxFrame>, Time) {
+        self.pairs[pair as usize].napi_poll(mem, cost)
+    }
+
+    /// Publish a `VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET` command on the
+    /// control queue. Returns whether the ctrl queue's doorbell must
+    /// ring (it always does for the first command).
+    pub fn set_queue_pairs(&mut self, mem: &mut HostMemory, pairs: u16) -> bool {
+        GuestMemory::write(
+            mem,
+            self.ctrl_cmd_buf,
+            &[net::ctrl::CLASS_MQ, net::ctrl::MQ_VQ_PAIRS_SET],
+        );
+        GuestMemory::write(mem, self.ctrl_cmd_buf + 2, &pairs.to_le_bytes());
+        // Poison the ack so a device that never writes it is caught.
+        GuestMemory::write(mem, self.ctrl_ack_buf, &[0xAA]);
+        let old = self.ctrl.avail_idx();
+        self.ctrl
+            .add_and_publish(
+                mem,
+                &[
+                    BufferSpec::readable(self.ctrl_cmd_buf, 2),
+                    BufferSpec::readable(self.ctrl_cmd_buf + 2, 2),
+                    BufferSpec::writable(self.ctrl_ack_buf, 1),
+                ],
+            )
+            .expect("ctrl ring full");
+        self.ctrl.needs_notify(mem, old)
+    }
+
+    /// Reap the ack of the oldest completed control command, if any.
+    pub fn ctrl_ack(&mut self, mem: &mut HostMemory) -> Option<u8> {
+        self.ctrl
+            .pop_used(mem)
+            .map(|_| mem.slice(self.ctrl_ack_buf, 1)[0])
+    }
+}
+
+/// Modern-PCI bring-up of an MQ device: feature negotiation (the caller
+/// includes `MQ | CTRL_VQ` in `want_features`), programming of the
+/// `2N` data queues **and** the control queue — each with MSI-X
+/// vector = queue index — then `DRIVER_OK` and device-config reads.
+pub fn probe_mq<T: VirtioTransport>(
+    transport: &mut T,
+    driver: &VirtioNetMqDriver,
+    want_features: u64,
+) -> Result<MqProbeOutcome, ProbeError> {
+    use common as c;
+    transport.common_write(c::DEVICE_STATUS, 1, 0);
+    transport.common_write(c::DEVICE_STATUS, 1, status::ACKNOWLEDGE as u64);
+    transport.common_write(
+        c::DEVICE_STATUS,
+        1,
+        (status::ACKNOWLEDGE | status::DRIVER) as u64,
+    );
+
+    transport.common_write(c::DEVICE_FEATURE_SELECT, 4, 0);
+    let lo = transport.common_read(c::DEVICE_FEATURE, 4);
+    transport.common_write(c::DEVICE_FEATURE_SELECT, 4, 1);
+    let hi = transport.common_read(c::DEVICE_FEATURE, 4);
+    let offered = lo | (hi << 32);
+    let accept = (offered & want_features) | core_feature::VERSION_1;
+
+    transport.common_write(c::DRIVER_FEATURE_SELECT, 4, 0);
+    transport.common_write(c::DRIVER_FEATURE, 4, accept & 0xFFFF_FFFF);
+    transport.common_write(c::DRIVER_FEATURE_SELECT, 4, 1);
+    transport.common_write(c::DRIVER_FEATURE, 4, accept >> 32);
+    transport.common_write(
+        c::DEVICE_STATUS,
+        1,
+        (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK) as u64,
+    );
+    if transport.common_read(c::DEVICE_STATUS, 1) as u8 & status::FEATURES_OK == 0 {
+        transport.common_write(
+            c::DEVICE_STATUS,
+            1,
+            (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::FAILED) as u64,
+        );
+        return Err(ProbeError::FeaturesRejected);
+    }
+    // Driving N pairs without MQ negotiated would be a spec violation.
+    if driver.num_pairs() > 1 && accept & net::feature::MQ == 0 {
+        transport.common_write(
+            c::DEVICE_STATUS,
+            1,
+            (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::FAILED) as u64,
+        );
+        return Err(ProbeError::FeaturesRejected);
+    }
+
+    let pairs = driver.num_pairs();
+    let need = 2 * pairs + 1;
+    let num_queues = transport.common_read(c::NUM_QUEUES, 2) as u16;
+    if num_queues < need {
+        return Err(ProbeError::NotEnoughQueues {
+            have: num_queues,
+            need,
+        });
+    }
+
+    // `max_virtqueue_pairs` sits at device-config offset 8 and fixes
+    // the ctrl queue's index; readable once FEATURES_OK is set.
+    let max_pairs = transport.device_cfg_read(8, 2) as u16;
+    if max_pairs < pairs {
+        return Err(ProbeError::NotEnoughQueues {
+            have: 2 * max_pairs + 1,
+            need,
+        });
+    }
+
+    let mut programming: Vec<(u16, VirtqueueLayout)> = Vec::new();
+    for (i, pair) in driver.pairs.iter().enumerate() {
+        programming.push((net::rx_queue_of_pair(i as u16), pair.rx_layout()));
+        programming.push((net::tx_queue_of_pair(i as u16), pair.tx_layout()));
+    }
+    programming.push((net::ctrl_queue_index(max_pairs), driver.ctrl_layout()));
+    for (qi, layout) in programming {
+        transport.common_write(c::QUEUE_SELECT, 2, qi as u64);
+        transport.common_write(c::QUEUE_SIZE, 2, layout.size as u64);
+        // Per-queue MSI-X routing: vector = queue index.
+        transport.common_write(c::QUEUE_MSIX_VECTOR, 2, qi as u64);
+        transport.common_write(c::QUEUE_DESC_LO, 4, layout.desc & 0xFFFF_FFFF);
+        transport.common_write(c::QUEUE_DESC_HI, 4, layout.desc >> 32);
+        transport.common_write(c::QUEUE_DRIVER_LO, 4, layout.avail & 0xFFFF_FFFF);
+        transport.common_write(c::QUEUE_DRIVER_HI, 4, layout.avail >> 32);
+        transport.common_write(c::QUEUE_DEVICE_LO, 4, layout.used & 0xFFFF_FFFF);
+        transport.common_write(c::QUEUE_DEVICE_HI, 4, layout.used >> 32);
+        transport.common_write(c::QUEUE_ENABLE, 2, 1);
+    }
+
+    transport.common_write(
+        c::DEVICE_STATUS,
+        1,
+        (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::DRIVER_OK) as u64,
+    );
+
+    let mut mac = [0u8; 6];
+    let mac_lo = transport.device_cfg_read(0, 4);
+    let mac_hi = transport.device_cfg_read(4, 2);
+    mac[..4].copy_from_slice(&(mac_lo as u32).to_le_bytes());
+    mac[4..].copy_from_slice(&(mac_hi as u16).to_le_bytes());
+    let mtu = transport.device_cfg_read(10, 2) as u16;
+
+    Ok(MqProbeOutcome {
+        features: accept,
+        mac,
+        mtu,
+        max_pairs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vf_virtio::net::VirtioNetConfig;
+    use vf_virtio::pci::CommonCfg;
+
+    /// A loopback transport over a bare `CommonCfg` register file, like
+    /// the single-queue probe tests use.
+    struct Loopback {
+        common: CommonCfg,
+        netcfg: VirtioNetConfig,
+    }
+
+    impl VirtioTransport for Loopback {
+        fn common_read(&mut self, off: u64, len: usize) -> u64 {
+            self.common.read(off, len)
+        }
+        fn common_write(&mut self, off: u64, len: usize, val: u64) {
+            let _ = self.common.write(off, len, val);
+        }
+        fn device_cfg_read(&mut self, off: u64, len: usize) -> u64 {
+            self.netcfg.read(off, len)
+        }
+    }
+
+    fn loopback(pairs: u16, queues: usize) -> Loopback {
+        let features = core_feature::VERSION_1
+            | core_feature::RING_EVENT_IDX
+            | net::feature::MAC
+            | net::feature::CTRL_VQ
+            | net::feature::MQ;
+        Loopback {
+            common: CommonCfg::new(features, &vec![256; queues]),
+            netcfg: VirtioNetConfig::with_queue_pairs(pairs),
+        }
+    }
+
+    fn want() -> u64 {
+        core_feature::VERSION_1
+            | core_feature::RING_EVENT_IDX
+            | net::feature::MAC
+            | net::feature::CTRL_VQ
+            | net::feature::MQ
+    }
+
+    #[test]
+    fn probe_programs_all_pairs_and_ctrl() {
+        let mut mem = HostMemory::testbed_default();
+        let drv = VirtioNetMqDriver::init(&mut mem, 256, 4, want());
+        let mut t = loopback(4, 9);
+        let out = probe_mq(&mut t, &drv, want()).unwrap();
+        assert_eq!(out.max_pairs, 4);
+        assert!(out.features & net::feature::MQ != 0);
+        // Every data queue and the ctrl queue are enabled with
+        // vector = queue index.
+        for qi in 0..9u16 {
+            t.common_write(common::QUEUE_SELECT, 2, qi as u64);
+            assert_eq!(t.common_read(common::QUEUE_ENABLE, 2), 1, "queue {qi}");
+            assert_eq!(
+                t.common_read(common::QUEUE_MSIX_VECTOR, 2),
+                qi as u64,
+                "vector of queue {qi}"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_fails_when_device_has_too_few_queues() {
+        let mut mem = HostMemory::testbed_default();
+        let drv = VirtioNetMqDriver::init(&mut mem, 256, 4, want());
+        // Device only exposes 2 pairs + ctrl = 5 queues.
+        let mut t = loopback(2, 5);
+        match probe_mq(&mut t, &drv, want()) {
+            Err(ProbeError::NotEnoughQueues { have, need }) => {
+                assert_eq!(have, 5);
+                assert_eq!(need, 9);
+            }
+            other => panic!("expected NotEnoughQueues, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ctrl_command_round_trips_through_the_ring() {
+        let mut mem = HostMemory::testbed_default();
+        let mut drv = VirtioNetMqDriver::init(&mut mem, 64, 2, want());
+        assert!(drv.set_queue_pairs(&mut mem, 2), "first command notifies");
+        // Device side: consume the chain, write OK, complete.
+        let mut dev = vf_virtio::device_queue::DeviceQueue::new(drv.ctrl_layout(), true, false);
+        let chain = dev.pop_chain(&mem).unwrap().unwrap();
+        let readable: Vec<u8> = chain
+            .bufs
+            .iter()
+            .filter(|b| !b.writable)
+            .flat_map(|b| mem.slice(b.addr, b.len as usize).to_vec())
+            .collect();
+        assert_eq!(
+            &readable[..2],
+            &[net::ctrl::CLASS_MQ, net::ctrl::MQ_VQ_PAIRS_SET]
+        );
+        assert_eq!(u16::from_le_bytes([readable[2], readable[3]]), 2);
+        let ack = chain.bufs.iter().rev().find(|b| b.writable).unwrap();
+        GuestMemory::write(&mut mem, ack.addr, &[net::ctrl::OK]);
+        dev.complete(&mut mem, chain.head, 1);
+        assert_eq!(drv.ctrl_ack(&mut mem), Some(net::ctrl::OK));
+        assert_eq!(drv.ctrl_ack(&mut mem), None);
+    }
+
+    #[test]
+    fn pairs_are_independent_drivers() {
+        let mut mem = HostMemory::testbed_default();
+        let drv = VirtioNetMqDriver::init(&mut mem, 128, 3, want());
+        assert_eq!(drv.num_pairs(), 3);
+        // Distinct rings per pair.
+        let mut descs: Vec<u64> = drv.pairs.iter().map(|p| p.tx_layout().desc).collect();
+        descs.extend(drv.pairs.iter().map(|p| p.rx_layout().desc));
+        descs.push(drv.ctrl_layout().desc);
+        descs.sort_unstable();
+        descs.dedup();
+        assert_eq!(descs.len(), 7, "every ring lives at its own address");
+    }
+}

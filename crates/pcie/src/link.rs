@@ -80,6 +80,14 @@ pub struct LinkConfig {
     pub posted_window: usize,
     /// Time for one posted TLP's credit to return (UpdateFC DLLP cadence).
     pub credit_return: Time,
+    /// Model independent DMA tag contexts (multi-queue controllers):
+    /// a TLP issued later in *call* order but earlier in *simulated*
+    /// time may backfill an idle wire gap another context's latency
+    /// chain left behind. Single-engine designs (the XDMA example, the
+    /// single-queue VirtIO controller) keep this off: their one tag
+    /// context issues TLPs strictly in time order, so the wire behaves
+    /// as a FIFO high-water mark.
+    pub multi_tag: bool,
 }
 
 impl LinkConfig {
@@ -97,6 +105,7 @@ impl LinkConfig {
             outstanding_reads: 1,
             posted_window: 1,
             credit_return: Time::from_ns(350),
+            multi_tag: false,
         }
     }
 
@@ -133,6 +142,90 @@ pub enum Direction {
     Upstream,
 }
 
+/// One direction's wire occupancy: merged busy intervals, oldest first.
+///
+/// A TLP reserves the earliest gap of its serialization length at or
+/// after its `earliest` instant. Keeping *intervals* rather than a
+/// single high-water mark matters once several virtqueues drive the
+/// link concurrently: one queue's descriptor walk chains read latencies
+/// far into the future, and a scalar watermark would leap forward with
+/// it, making a second queue's TLPs — issued later in call order but
+/// earlier in simulated time — queue behind wire time that was actually
+/// idle. With gap backfill, concurrent queues overlap their *latencies*
+/// (tag-level concurrency) while genuinely overlapping *wire time*
+/// still serializes.
+#[derive(Clone, Debug, Default)]
+struct WireDir {
+    /// FIFO high-water mark (single-tag mode).
+    watermark: Time,
+    /// Merged busy intervals (multi-tag mode).
+    busy: VecDeque<(Time, Time)>,
+}
+
+/// Interval-list backstop. When exceeded, the two oldest intervals are
+/// coalesced (conservative: the gap between them is forgotten as
+/// *busy*, never double-booked). With [`PcieLink::advance_epoch`]
+/// pruning retired intervals each event, the list tracks the live
+/// pipeline window and stays far below this bound.
+const WIRE_INTERVAL_CAP: usize = 4096;
+
+impl WireDir {
+    /// Drop intervals that ended at or before `epoch` — they can never
+    /// conflict with a reservation whose `earliest` is `>= epoch`.
+    fn prune(&mut self, epoch: Time) {
+        while let Some(&(_, e)) = self.busy.front() {
+            if e <= epoch {
+                self.busy.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Reserve `dur` of wire no earlier than `earliest`; returns the
+    /// instant the reservation ends (last symbol leaves the sender).
+    fn reserve(&mut self, multi_tag: bool, earliest: Time, dur: Time) -> Time {
+        if !multi_tag {
+            let start = self.watermark.max(earliest);
+            let end = start + dur;
+            self.watermark = end;
+            return end;
+        }
+        let mut start = earliest;
+        let mut idx = self.busy.len();
+        for (i, &(s, e)) in self.busy.iter().enumerate() {
+            if start + dur <= s {
+                idx = i;
+                break;
+            }
+            if e > start {
+                start = e;
+            }
+        }
+        let end = start + dur;
+        let mut s = start;
+        let mut e = end;
+        // Merge with touching neighbors to keep the list canonical.
+        if idx < self.busy.len() && self.busy[idx].0 == e {
+            e = self.busy[idx].1;
+            self.busy.remove(idx);
+        }
+        if idx > 0 && self.busy[idx - 1].1 == s {
+            s = self.busy[idx - 1].0;
+            self.busy.remove(idx - 1);
+            idx -= 1;
+        }
+        self.busy.insert(idx, (s, e));
+        if self.busy.len() > WIRE_INTERVAL_CAP {
+            let (s0, _) = self.busy[0];
+            let (_, e1) = self.busy[1];
+            self.busy.pop_front();
+            self.busy[0] = (s0, e1);
+        }
+        end
+    }
+}
+
 /// Dynamic link state: per-direction serialization occupancy and the
 /// posted-credit pipeline.
 ///
@@ -144,10 +237,15 @@ pub enum Direction {
 pub struct PcieLink {
     /// Static configuration.
     pub cfg: LinkConfig,
-    down_busy: Time,
-    up_busy: Time,
-    /// Return instants for outstanding posted credits (oldest first).
-    posted_credits: VecDeque<Time>,
+    down: WireDir,
+    up: WireDir,
+    /// Return instants for outstanding posted credits, per DMA tag
+    /// context. Single-tag links keep exactly one pipeline (index 0);
+    /// multi-tag engines pace each channel independently while the
+    /// shared wire still arbitrates serialization.
+    posted_credits: Vec<VecDeque<Time>>,
+    /// DMA tag context charged by subsequent posted writes.
+    active_tag: usize,
     /// Cumulative wire-byte counters, for utilization reporting.
     pub up_wire_bytes: u64,
     /// Downstream wire-byte counter.
@@ -161,19 +259,43 @@ impl PcieLink {
     pub fn new(cfg: LinkConfig) -> Self {
         PcieLink {
             cfg,
-            down_busy: Time::ZERO,
-            up_busy: Time::ZERO,
-            posted_credits: VecDeque::new(),
+            down: WireDir::default(),
+            up: WireDir::default(),
+            posted_credits: vec![VecDeque::new()],
+            active_tag: 0,
             up_wire_bytes: 0,
             down_wire_bytes: 0,
             tlp_counts: [0; 3],
         }
     }
 
-    fn busy_for(&mut self, dir: Direction) -> &mut Time {
+    /// Tell the link that the surrounding event loop has reached `now`.
+    ///
+    /// The discrete-event scheduler delivers events in time order and
+    /// every chain of link calls starts from some event's `now`, so no
+    /// future reservation can ask for wire earlier than the latest
+    /// observed event time. Busy intervals that ended before it are
+    /// history and are pruned, keeping the interval lists sized to the
+    /// *live* pipeline window instead of the whole run. Only meaningful
+    /// in multi-tag mode; single-tag links track a scalar watermark.
+    pub fn advance_epoch(&mut self, now: Time) {
+        self.down.prune(now);
+        self.up.prune(now);
+    }
+
+    /// Select the DMA tag context that subsequent posted writes charge
+    /// their flow-control pipeline to. Multi-channel DMA engines (one
+    /// channel per virtqueue pair) keep an independent posted pipeline
+    /// per channel; single-tag links (`multi_tag` off) have exactly one
+    /// and ignore the selection.
+    pub fn select_dma_context(&mut self, tag: usize) {
+        self.active_tag = tag;
+    }
+
+    fn wire_for(&mut self, dir: Direction) -> &mut WireDir {
         match dir {
-            Direction::Downstream => &mut self.down_busy,
-            Direction::Upstream => &mut self.up_busy,
+            Direction::Downstream => &mut self.down,
+            Direction::Upstream => &mut self.up,
         }
     }
 
@@ -195,10 +317,9 @@ impl PcieLink {
     fn put_tlp(&mut self, earliest: Time, dir: Direction, kind: TlpKind, payload: usize) -> Time {
         let wire = wire_bytes(kind, payload);
         let ser = self.cfg.serialize(wire);
-        let busy = self.busy_for(dir);
-        let start = (*busy).max(earliest);
-        let end = start + ser;
-        *busy = end;
+        let multi_tag = self.cfg.multi_tag;
+        let end = self.wire_for(dir).reserve(multi_tag, earliest, ser);
+        let start = end - ser;
         self.count_tlp(kind, wire, dir);
         if vf_trace::is_enabled() {
             let name = match kind {
@@ -297,28 +418,42 @@ impl PcieLink {
             return now;
         }
         let window = self.cfg.posted_window.max(1);
+        let tag = if self.cfg.multi_tag {
+            self.active_tag
+        } else {
+            0
+        };
+        if self.posted_credits.len() <= tag {
+            self.posted_credits.resize_with(tag + 1, VecDeque::new);
+        }
         let mut last_arrival = now;
         for chunk in split_aligned(addr, len, self.cfg.mps) {
             // Retire credits that have already returned by our earliest
             // possible send time, then stall if still at the window limit.
-            let mut earliest = now.max(self.up_busy);
-            while let Some(&front) = self.posted_credits.front() {
+            // Each DMA tag context paces its own posted pipeline; in
+            // single-tag mode everything charges context 0, preserving
+            // the strictly FIFO credit model.
+            let mut earliest = if self.cfg.multi_tag {
+                now
+            } else {
+                now.max(self.up.watermark)
+            };
+            while let Some(&front) = self.posted_credits[tag].front() {
                 if front <= earliest {
-                    self.posted_credits.pop_front();
+                    self.posted_credits[tag].pop_front();
                 } else {
                     break;
                 }
             }
-            if self.posted_credits.len() >= window {
-                earliest = self
-                    .posted_credits
+            if self.posted_credits[tag].len() >= window {
+                earliest = self.posted_credits[tag]
                     .pop_front()
                     .expect("credit queue non-empty");
             }
             let sent = self.put_tlp(earliest, Direction::Upstream, TlpKind::MemWrite, chunk);
             let at_rc = sent + self.cfg.propagation;
-            self.posted_credits
-                .push_back(at_rc + self.cfg.credit_return);
+            let ret = at_rc + self.cfg.credit_return;
+            self.posted_credits[tag].push_back(ret);
             last_arrival = at_rc;
         }
         last_arrival + self.cfg.rc_write_latency

@@ -129,7 +129,8 @@ impl VirtioPmd {
                 head
             })
             .collect();
-        rx.publish_batch(mem, &heads);
+        rx.publish_batch(mem, &heads)
+            .expect("initial RX posting is exactly one ring's worth");
         rx.park_used_event(mem);
 
         VirtioPmd {
@@ -205,7 +206,9 @@ impl VirtioPmd {
             heads.push(head);
         }
         self.tx_inflight += heads.len() as u16;
-        self.tx.publish_batch(mem, &heads);
+        self.tx
+            .publish_batch(mem, &heads)
+            .expect("burst bounded by TX slots, which fit the ring");
         let notify = self.tx.needs_notify(mem, old_idx);
         if notify {
             self.stats.doorbells += 1;
@@ -247,7 +250,9 @@ impl VirtioPmd {
             self.rx_slot_of_head[head as usize] = Some(buf);
             reposted.push(head);
         }
-        self.rx.publish_batch(mem, &reposted);
+        self.rx
+            .publish_batch(mem, &reposted)
+            .expect("reposts bounded by the chains just freed");
         cpu += cost.step(cost.costs.pmd_ring_add);
         self.rx.park_used_event(mem);
         self.stats.rx_packets += frames.len() as u64;

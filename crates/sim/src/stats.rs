@@ -24,7 +24,11 @@ use crate::time::Time;
 #[derive(Clone, Debug, Default)]
 pub struct SampleSet {
     samples: Vec<f64>,
-    sorted: bool,
+    /// Sorted copy of `samples`, rebuilt lazily for percentile queries.
+    /// `samples` itself always stays in insertion order so [`Self::raw`]
+    /// can return the time series.
+    sorted: Vec<f64>,
+    sorted_valid: bool,
 }
 
 impl SampleSet {
@@ -32,7 +36,8 @@ impl SampleSet {
     pub fn with_capacity(n: usize) -> Self {
         SampleSet {
             samples: Vec::with_capacity(n),
-            sorted: true,
+            sorted: Vec::new(),
+            sorted_valid: true,
         }
     }
 
@@ -40,21 +45,22 @@ impl SampleSet {
     pub fn from_us(values: Vec<f64>) -> Self {
         SampleSet {
             samples: values,
-            sorted: false,
+            sorted: Vec::new(),
+            sorted_valid: false,
         }
     }
 
     /// Record one latency sample.
     pub fn push(&mut self, t: Time) {
         self.samples.push(t.as_us_f64());
-        self.sorted = false;
+        self.sorted_valid = false;
     }
 
     /// Record one sample already in microseconds.
     pub fn push_us(&mut self, us: f64) {
         debug_assert!(us.is_finite() && us >= 0.0);
         self.samples.push(us);
-        self.sorted = false;
+        self.sorted_valid = false;
     }
 
     /// Number of samples.
@@ -67,17 +73,19 @@ impl SampleSet {
         self.samples.is_empty()
     }
 
-    /// The raw samples, in insertion order unless a percentile has been
-    /// queried (percentile queries sort in place).
+    /// The raw samples, always in insertion order — percentile queries
+    /// sort a private copy, never the series itself.
     pub fn raw(&self) -> &[f64] {
         &self.samples
     }
 
     fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples
+        if !self.sorted_valid {
+            self.sorted.clear();
+            self.sorted.extend_from_slice(&self.samples);
+            self.sorted
                 .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN latency sample"));
-            self.sorted = true;
+            self.sorted_valid = true;
         }
     }
 
@@ -88,9 +96,9 @@ impl SampleSet {
         assert!((0.0..=100.0).contains(&p));
         self.ensure_sorted();
         if p == 0.0 {
-            return self.samples[0];
+            return self.sorted[0];
         }
-        let exact = p / 100.0 * self.samples.len() as f64;
+        let exact = p / 100.0 * self.sorted.len() as f64;
         // Guard against float noise pushing an integral rank (e.g.
         // 0.999 × 1000) up to the next sample.
         let rank = if (exact - exact.round()).abs() < 1e-6 {
@@ -98,7 +106,7 @@ impl SampleSet {
         } else {
             exact.ceil() as usize
         };
-        self.samples[rank.clamp(1, self.samples.len()) - 1]
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
     }
 
     /// Arithmetic mean.
@@ -126,14 +134,14 @@ impl SampleSet {
             n: self.samples.len(),
             mean_us: self.mean(),
             std_us: self.std_dev(),
-            min_us: self.samples[0],
+            min_us: self.sorted[0],
             p25_us: self.percentile(25.0),
             median_us: self.percentile(50.0),
             p75_us: self.percentile(75.0),
             p95_us: self.percentile(95.0),
             p99_us: self.percentile(99.0),
             p999_us: self.percentile(99.9),
-            max_us: *self.samples.last().unwrap(),
+            max_us: *self.sorted.last().unwrap(),
         }
     }
 
@@ -321,7 +329,9 @@ impl Histogram {
                 if c == 0 {
                     ' '
                 } else {
-                    let idx = (c * 8 / max).clamp(1, 8) as usize - 1;
+                    // Scale in u128: `c * 8` overflows u64 for bin counts
+                    // above u64::MAX / 8.
+                    let idx = ((c as u128 * 8) / max as u128).clamp(1, 8) as usize - 1;
                     BLOCKS[idx]
                 }
             })
@@ -425,6 +435,42 @@ mod tests {
         // Bin 1 (three samples) must render taller than bin 5 (one sample).
         let chars: Vec<char> = line.chars().collect();
         assert!(chars[1] > chars[5]);
+    }
+
+    #[test]
+    fn raw_preserves_insertion_order_across_percentile_queries() {
+        // Regression: `percentile`/`summary` used to sort the sample
+        // vector in place, so `raw()` afterwards returned a monotone
+        // ramp instead of the recorded time series.
+        let mut s = SampleSet::with_capacity(8);
+        s.push_us(30.0);
+        s.push_us(10.0);
+        assert_eq!(s.percentile(50.0), 10.0);
+        assert_eq!(s.raw(), &[30.0, 10.0], "percentile must not reorder raw");
+        s.push_us(20.0);
+        let sum = s.summary();
+        assert_eq!(sum.min_us, 10.0);
+        assert_eq!(sum.max_us, 30.0);
+        assert_eq!(s.raw(), &[30.0, 10.0, 20.0], "summary must not reorder raw");
+        // Percentiles keep seeing new pushes.
+        assert_eq!(s.percentile(100.0), 30.0);
+        assert_eq!(s.percentile(0.0), 10.0);
+    }
+
+    #[test]
+    fn sparkline_survives_huge_bin_counts() {
+        // Regression: the scaling `c * 8 / max` was done in u64 and
+        // overflowed for counts above u64::MAX / 8.
+        let h = Histogram {
+            lo: 0.0,
+            hi: 2.0,
+            counts: vec![u64::MAX, u64::MAX / 2 + 1, 1, 0],
+        };
+        let line: Vec<char> = h.sparkline().chars().collect();
+        assert_eq!(line[0], '█', "max bin renders full height");
+        assert_eq!(line[1], '▄', "half-max bin renders mid height");
+        assert_eq!(line[2], '▁', "tiny bin still visible");
+        assert_eq!(line[3], ' ');
     }
 
     #[test]

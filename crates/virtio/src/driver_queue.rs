@@ -198,9 +198,24 @@ impl DriverQueue {
     /// written first, then the index advances past all of them in one
     /// write. Returns the new avail index (already written to memory).
     /// An empty batch is a no-op and returns the current index.
-    pub fn publish_batch<M: GuestMemory>(&mut self, mem: &mut M, heads: &[u16]) -> u16 {
+    ///
+    /// A batch longer than the ring would lap itself — slot
+    /// `avail_idx + i (mod size)` revisits entries the same call just
+    /// wrote, handing the device a corrupt ring — so it is rejected
+    /// before touching memory.
+    pub fn publish_batch<M: GuestMemory>(
+        &mut self,
+        mem: &mut M,
+        heads: &[u16],
+    ) -> Result<u16, QueueError> {
         if heads.is_empty() {
-            return self.avail_idx;
+            return Ok(self.avail_idx);
+        }
+        if heads.len() > self.layout.size as usize {
+            return Err(QueueError::NoSpace {
+                needed: heads.len().try_into().unwrap_or(u16::MAX),
+                free: self.layout.size,
+            });
         }
         for (i, &head) in heads.iter().enumerate() {
             let slot = self.avail_idx.wrapping_add(i as u16) % self.layout.size;
@@ -208,7 +223,7 @@ impl DriverQueue {
         }
         self.avail_idx = self.avail_idx.wrapping_add(heads.len() as u16);
         mem.write_u16(self.layout.avail_idx_addr(), self.avail_idx);
-        self.avail_idx
+        Ok(self.avail_idx)
     }
 
     /// Convenience: add + publish in one call.
@@ -531,7 +546,7 @@ mod tests {
             .collect();
         // Nothing published yet: the index in memory is still 0.
         assert_eq!(mem.read_u16(q.layout().avail_idx_addr()), 0);
-        let new_idx = q.publish_batch(&mut mem, &heads);
+        let new_idx = q.publish_batch(&mut mem, &heads).unwrap();
         assert_eq!(new_idx, 3);
         assert_eq!(mem.read_u16(q.layout().avail_idx_addr()), 3);
         for (i, &h) in heads.iter().enumerate() {
@@ -542,7 +557,7 @@ mod tests {
     #[test]
     fn publish_batch_empty_is_noop() {
         let (mut mem, mut q) = setup(4, false);
-        assert_eq!(q.publish_batch(&mut mem, &[]), 0);
+        assert_eq!(q.publish_batch(&mut mem, &[]).unwrap(), 0);
         assert_eq!(mem.read_u16(q.layout().avail_idx_addr()), 0);
     }
 
@@ -566,9 +581,29 @@ mod tests {
                     .unwrap()
             })
             .collect();
-        assert_eq!(q.publish_batch(&mut mem, &heads), 5);
+        assert_eq!(q.publish_batch(&mut mem, &heads).unwrap(), 5);
         assert_eq!(mem.read_u16(q.layout().avail_ring_addr(3)), heads[0]);
         assert_eq!(mem.read_u16(q.layout().avail_ring_addr(0)), heads[1]);
+    }
+
+    #[test]
+    fn publish_batch_longer_than_ring_is_rejected() {
+        // Regression: a batch longer than the queue size used to lap the
+        // avail ring, overwriting its own earlier entries, and still
+        // advance the index past them — a corrupt ring from the device's
+        // point of view.
+        let (mut mem, mut q) = setup(4, false);
+        let heads = [0u16, 1, 2, 3, 0];
+        let err = q.publish_batch(&mut mem, &heads).unwrap_err();
+        assert_eq!(err, QueueError::NoSpace { needed: 5, free: 4 });
+        // Nothing was written: index still 0, ring untouched.
+        assert_eq!(q.avail_idx(), 0);
+        assert_eq!(mem.read_u16(q.layout().avail_idx_addr()), 0);
+        for slot in 0..4_u16 {
+            assert_eq!(mem.read_u16(q.layout().avail_ring_addr(slot)), 0);
+        }
+        // A full-ring batch is still fine.
+        assert_eq!(q.publish_batch(&mut mem, &heads[..4]).unwrap(), 4);
     }
 
     #[test]
@@ -626,7 +661,7 @@ mod tests {
         for &h in &heads_a {
             qa.publish(&mut mem_a, h);
         }
-        qb.publish_batch(&mut mem_b, &heads_b);
+        qb.publish_batch(&mut mem_b, &heads_b).unwrap();
         assert_eq!(qa.avail_idx(), qb.avail_idx());
         for slot in 0..5_u16 {
             assert_eq!(

@@ -29,6 +29,38 @@ pub mod feature {
     pub const STATUS: u64 = 1 << 16;
     /// Control virtqueue present.
     pub const CTRL_VQ: u64 = 1 << 17;
+    /// Device supports multiple RX/TX queue pairs (VirtIO 1.2 §5.1.6.5.5).
+    pub const MQ: u64 = 1 << 22;
+}
+
+/// Control-virtqueue command encoding (VirtIO 1.2 §5.1.6.5). A command
+/// is a readable `{class, command}` header, readable command-specific
+/// data, and one device-writable ack byte at the end of the chain.
+pub mod ctrl {
+    /// Command class: multiqueue configuration.
+    pub const CLASS_MQ: u8 = 4;
+    /// `CLASS_MQ` command: set the number of active queue pairs.
+    pub const MQ_VQ_PAIRS_SET: u8 = 0;
+    /// Ack byte: command accepted.
+    pub const OK: u8 = 0;
+    /// Ack byte: command rejected.
+    pub const ERR: u8 = 1;
+}
+
+/// Queue index of `receiveqN` for pair `n` (0-based).
+pub fn rx_queue_of_pair(pair: u16) -> u16 {
+    2 * pair
+}
+
+/// Queue index of `transmitqN` for pair `n` (0-based).
+pub fn tx_queue_of_pair(pair: u16) -> u16 {
+    2 * pair + 1
+}
+
+/// Queue index of the control virtqueue when the device exposes
+/// `max_pairs` queue pairs (the ctrl queue is always last, §5.1.2).
+pub fn ctrl_queue_index(max_pairs: u16) -> u16 {
+    2 * max_pairs
 }
 
 /// `virtio_net_config.status` bit: link is up.
@@ -135,6 +167,16 @@ impl VirtioNetConfig {
         }
     }
 
+    /// A multiqueue variant of [`Self::testbed_default`]: same MAC/MTU,
+    /// but advertising `pairs` RX/TX queue pairs.
+    pub fn with_queue_pairs(pairs: u16) -> Self {
+        assert!(pairs >= 1, "a net device has at least one queue pair");
+        VirtioNetConfig {
+            max_virtqueue_pairs: pairs,
+            ..Self::testbed_default()
+        }
+    }
+
     /// Serialize to the config-space byte layout.
     pub fn to_bytes(self) -> [u8; Self::LEN] {
         let mut b = [0u8; Self::LEN];
@@ -235,6 +277,28 @@ mod tests {
         assert_eq!(c.read(12, 4), 0);
         // Straddling read.
         assert_eq!(c.read(11, 2) & 0xFF, (1500u16 >> 8) as u64);
+    }
+
+    #[test]
+    fn mq_queue_numbering_follows_spec() {
+        // §5.1.2: receiveq1..N at even indices, transmitq1..N at odd,
+        // ctrl vq last.
+        assert_eq!(rx_queue_of_pair(0), RX_QUEUE);
+        assert_eq!(tx_queue_of_pair(0), TX_QUEUE);
+        assert_eq!(rx_queue_of_pair(3), 6);
+        assert_eq!(tx_queue_of_pair(3), 7);
+        assert_eq!(ctrl_queue_index(1), 2);
+        assert_eq!(ctrl_queue_index(4), 8);
+    }
+
+    #[test]
+    fn config_reports_queue_pairs() {
+        let c = VirtioNetConfig::with_queue_pairs(4);
+        let b = c.to_bytes();
+        assert_eq!(u16::from_le_bytes([b[8], b[9]]), 4);
+        assert_eq!(c.read(8, 2), 4);
+        // Everything else matches the single-queue default.
+        assert_eq!(b[0..8], VirtioNetConfig::testbed_default().to_bytes()[0..8]);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! * driver makes a descriptor available: `AVAIL = wrap`, `USED = !wrap`;
 //! * device marks it used: `AVAIL = USED = wrap(device)`.
 
+use crate::driver_queue::QueueError;
 use crate::mem::GuestMemory;
 
 /// Packed-descriptor flag: buffer continues in the next descriptor.
@@ -224,6 +225,40 @@ impl PackedDriverQueue {
         self.free -= n;
         self.chain_len[id as usize] = n;
         Some(id)
+    }
+
+    /// Add a burst of chains in one call — the packed-layout counterpart
+    /// of the split queue's `publish_batch`. Returns the buffer ids in
+    /// order.
+    ///
+    /// Guarded the same way: a batch whose total descriptor count exceeds
+    /// the free slots would lap the ring and overwrite descriptors the
+    /// same burst just made available, so it is rejected before touching
+    /// memory ([`QueueError::NoSpace`]); a batch containing an empty
+    /// chain is rejected with [`QueueError::EmptyChain`].
+    pub fn add_batch<M: GuestMemory>(
+        &mut self,
+        mem: &mut M,
+        chains: &[&[PackedBuffer]],
+    ) -> Result<Vec<u16>, QueueError> {
+        let total: usize = chains.iter().map(|c| c.len()).sum();
+        if chains.iter().any(|c| c.is_empty()) {
+            return Err(QueueError::EmptyChain);
+        }
+        if total > self.free as usize {
+            return Err(QueueError::NoSpace {
+                needed: total.try_into().unwrap_or(u16::MAX),
+                free: self.free,
+            });
+        }
+        let mut ids = Vec::with_capacity(chains.len());
+        for chain in chains {
+            let id = self
+                .add(mem, chain)
+                .expect("batch pre-checked against free slots");
+            ids.push(id);
+        }
+        Ok(ids)
     }
 
     fn advance_avail(&mut self) {
@@ -544,6 +579,46 @@ mod tests {
         for expect in &ids {
             assert_eq!(drv.pop_used(&mem).unwrap().id, *expect);
         }
+    }
+
+    #[test]
+    fn add_batch_longer_than_ring_is_rejected() {
+        // Same regression class as the split queue's publish_batch: a
+        // burst with more descriptors than free slots must be rejected
+        // atomically instead of lapping the ring.
+        let (mut mem, mut drv, mut dev) = setup(4);
+        let buf = |addr| PackedBuffer {
+            addr,
+            len: 64,
+            writable: false,
+        };
+        let chains: Vec<[PackedBuffer; 1]> = (0..5).map(|i| [buf(0x5000 + i * 64)]).collect();
+        let refs: Vec<&[PackedBuffer]> = chains.iter().map(|c| &c[..]).collect();
+        let err = drv.add_batch(&mut mem, &refs).unwrap_err();
+        assert_eq!(err, QueueError::NoSpace { needed: 5, free: 4 });
+        // Nothing became visible to the device.
+        assert_eq!(drv.num_free(), 4);
+        assert!(dev.try_take(&mem).is_none());
+        // A full-ring batch is still fine, and every chain is takeable.
+        let ids = drv.add_batch(&mut mem, &refs[..4]).unwrap();
+        assert_eq!(ids.len(), 4);
+        for expect in &ids {
+            let chain = dev.try_take(&mem).unwrap();
+            assert_eq!(chain.id, *expect);
+        }
+    }
+
+    #[test]
+    fn add_batch_rejects_empty_chain() {
+        let (mut mem, mut drv, _dev) = setup(4);
+        let one = [PackedBuffer {
+            addr: 0x5000,
+            len: 8,
+            writable: false,
+        }];
+        let err = drv.add_batch(&mut mem, &[&one, &[]]).unwrap_err();
+        assert_eq!(err, QueueError::EmptyChain);
+        assert_eq!(drv.num_free(), 4);
     }
 
     #[test]

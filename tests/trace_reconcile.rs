@@ -188,3 +188,33 @@ fn perfetto_export_names_every_layer() {
         assert!(json.contains(ph), "export missing phase {ph}");
     }
 }
+
+/// E19 multi-queue world: every round trip reconciles, and the root
+/// span names carry the queue pair that served the flow, so each queue
+/// gets its own track group in the export.
+#[test]
+fn mq_spans_reconcile_per_queue() {
+    let mut c = cfg(DriverKind::VirtioMq, 19_002);
+    c.options.mq_queue_pairs = 2;
+    let run = traced_run(&c);
+    let rtts = run.breakdowns();
+    assert_eq!(rtts.len(), PACKETS, "one breakdown per packet");
+    for (i, rtt) in rtts.iter().enumerate() {
+        let expect = if i % 2 == 0 { "rtt_mq_q0" } else { "rtt_mq_q1" };
+        assert_eq!(rtt.name, expect, "round-robin per-queue root names");
+    }
+    reconcile(&run.result, &rtts).unwrap_or_else(|e| panic!("mq: {e}"));
+}
+
+/// Tracing stays a pure observer for the multi-queue world too.
+#[test]
+fn mq_tracing_does_not_perturb_timestamps() {
+    let mut c = cfg(DriverKind::VirtioMq, 19_002);
+    c.options.mq_queue_pairs = 2;
+    let plain = Testbed::new(c.clone()).run();
+    let traced = traced_run(&c).result;
+    let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(plain.total.raw()), bits(traced.total.raw()));
+    assert_eq!(plain.notifications, traced.notifications);
+    assert_eq!(plain.irqs, traced.irqs);
+}
