@@ -1,0 +1,45 @@
+//! Criterion bench for the **E20 walker pipeline** — simulation
+//! throughput of the MQ worlds with the descriptor walkers running
+//! serially (depth 1) versus pipelined over multiple outstanding
+//! non-posted reads (depth 4), for both ring layouts.
+//!
+//! The measured quantity is host wall-clock per simulated run, so this
+//! catches regressions in the walker state machines and the multi-tag
+//! link bookkeeping themselves, independent of the simulated timings
+//! they produce.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use virtio_fpga::{run_mq, DriverKind, TestbedConfig};
+
+const PACKETS: usize = 200;
+const PAIRS: u16 = 4;
+const WINDOW: usize = 16;
+
+fn bench_walker_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walker_pipeline");
+    group.throughput(Throughput::Elements(PACKETS as u64));
+    let layouts = [
+        ("split", DriverKind::VirtioMq),
+        ("packed", DriverKind::VirtioMqPacked),
+    ];
+    for (layout, kind) in layouts {
+        for depth in [1usize, 4] {
+            group.bench_function(format!("{layout}_depth{depth}"), |b| {
+                let mut seed = 500u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut cfg = TestbedConfig::paper(kind, 256, PACKETS, seed);
+                    cfg.options.mq_queue_pairs = PAIRS;
+                    cfg.options.pipeline_depth = depth;
+                    let r = run_mq(&cfg, WINDOW);
+                    assert_eq!(r.verify_failures, 0);
+                    r.pps
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walker_pipeline);
+criterion_main!(benches);

@@ -18,6 +18,8 @@
 //!   pmd                            E15 vf-pmd poll-mode driver vs kernel drivers
 //!   pmd-crossover                  E16 poll-vs-interrupt crossover vs offered load
 //!   packed                         E17 split vs packed virtqueue layout
+//!   mq                             E19 multi-queue scaling
+//!   ooo                            E20 out-of-order descriptor pipeline
 //!   all                            everything above
 //!   trace                          E18 cross-layer span trace + Perfetto export
 //! ```
@@ -105,6 +107,7 @@ fn main() {
             "pmd-crossover",
             "packed",
             "mq",
+            "ooo",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -232,6 +235,14 @@ fn main() {
                     println!(
                         "{}",
                         render_mq(payload, &experiments::mq_scaling(params, payload))
+                    );
+                }
+            }
+            "ooo" => {
+                for payload in [256usize, 1024] {
+                    println!(
+                        "{}",
+                        render_ooo(payload, &experiments::pipeline_depth(params, payload))
                     );
                 }
             }
@@ -394,6 +405,6 @@ fn print_usage() {
          artifacts: fig3 fig4 fig5 table1 portability xdma-irq-ablation\n\
          \u{20}          virtio-features bypass devtypes csum-offload noise-sweep\n\
          \u{20}          pipeline deployment card-memory pmd pmd-crossover packed\n\
-         \u{20}          mq trace all"
+         \u{20}          mq ooo trace all"
     );
 }

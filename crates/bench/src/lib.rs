@@ -320,6 +320,29 @@ pub fn render_mq(payload: usize, rows: &[virtio_fpga::experiments::MqRow]) -> St
     out
 }
 
+/// Render one payload's E20 out-of-order descriptor-pipeline sweep.
+pub fn render_ooo(payload: usize, rows: &[virtio_fpga::experiments::OooRow]) -> String {
+    let mut out = format!(
+        "E20 — Out-of-order descriptor pipeline ({payload} B payload, window {}/queue)\nlayout | queues | depth | aggregate pps | speedup | link up/down | peak NP | bottleneck\n-------+--------+-------+---------------+---------+--------------+---------+-----------\n",
+        virtio_fpga::experiments::MQ_SWEEP_DEPTH
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<6} | {:>6} | {:>5} | {:>13.0} | {:>7.2} | {:>4.0}% / {:>3.0}% | {:>7} | {}\n",
+            r.layout,
+            r.queues,
+            r.depth,
+            r.pps,
+            r.speedup,
+            r.link_util_up * 100.0,
+            r.link_util_down * 100.0,
+            r.peak_np_inflight,
+            r.bottleneck
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +406,33 @@ mod tests {
         assert_eq!(s.lines().count(), 3 + 5); // title + 2 header + 5 queue counts
         assert!((rows[0].speedup - 1.0).abs() < 1e-12);
         assert!(rows[1].pps > rows[0].pps, "2 queues must beat 1");
+        // Regression pins: pairs print in numeric sweep order, and the
+        // summary table carries the link-occupancy column (E20's
+        // crossover must be readable without opening a trace).
+        assert!(
+            rows.windows(2).all(|w| w[0].queues < w[1].queues),
+            "queue rows out of numeric order"
+        );
+        assert!(s.contains("link up/down"));
+        for line in s.lines().skip(3) {
+            assert!(line.contains('%'), "row without link occupancy: {line}");
+        }
+    }
+
+    #[test]
+    fn ooo_renders_both_layouts() {
+        let params = ExperimentParams {
+            packets: 150,
+            seed: 37,
+            threads: 8,
+        };
+        let rows = experiments::pipeline_depth(params, 256);
+        let s = render_ooo(256, &rows);
+        assert!(s.contains("E20"));
+        // title + 2 header + 2 layouts × 3 queue counts × 4 depths.
+        assert_eq!(s.lines().count(), 3 + 24);
+        assert!(s.contains("split") && s.contains("packed"));
+        assert!(s.contains("walker") || s.contains("link"));
     }
 
     #[test]

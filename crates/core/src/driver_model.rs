@@ -99,6 +99,10 @@ pub struct RunStats {
     /// (not payload) — the split-vs-packed structural metric of E17.
     /// Zero where the engine does not track it (XDMA).
     pub desc_reads: u64,
+    /// Highest number of non-posted reads one virtqueue-walker DMA tag
+    /// held in flight at once (E20). Zero for the serial walkers
+    /// (`pipeline_depth = 1`) and for engines that do not pipeline.
+    pub walker_peak_inflight: u64,
 }
 
 /// A pluggable driver stack: a discrete-event [`World`] that can bring

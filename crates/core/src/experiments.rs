@@ -16,6 +16,8 @@
 //! | [`pmd_tails`] | E15 — Fig. 3/Table I re-run with the `vf-pmd` poll-mode driver as a third series |
 //! | [`pmd_crossover`] | E16 — poll-vs-interrupt crossover: RTT and host CPU/packet vs offered load |
 //! | [`packed_ring`] | E17 — split vs packed virtqueue layout: RTT and device-side descriptor PCIe reads |
+//! | [`mq_scaling`] | E19 — multi-queue scaling: aggregate pps and link occupancy vs queue-pair count |
+//! | [`pipeline_depth`] | E20 — out-of-order descriptor pipeline: outstanding-read depth × layout × pairs |
 //!
 //! Runs within a sweep are independent simulations and execute in
 //! parallel ([`vf_sim::parallel_map`]), one thread per configuration.
@@ -986,6 +988,102 @@ pub fn mq_scaling(params: ExperimentParams, payload: usize) -> Vec<MqRow> {
         .collect()
 }
 
+/// One row of the E20 out-of-order descriptor-pipeline sweep.
+pub struct OooRow {
+    /// UDP payload bytes.
+    pub payload: usize,
+    /// Ring layout: `"split"` or `"packed"`.
+    pub layout: &'static str,
+    /// Active queue pairs.
+    pub queues: u16,
+    /// Outstanding non-posted reads per walker tag (`pipeline_depth`).
+    pub depth: usize,
+    /// Aggregate throughput (packets/s).
+    pub pps: f64,
+    /// Speedup over the depth-1 run of the same (layout, queues) cell.
+    pub speedup: f64,
+    /// Fraction of the run the upstream (device→host) wire was busy.
+    pub link_util_up: f64,
+    /// Fraction of the run the downstream (host→device) wire was busy.
+    pub link_util_down: f64,
+    /// Highest number of non-posted reads one walker tag held in flight.
+    pub peak_np_inflight: u64,
+    /// What caps throughput at this point: `"link"` once either wire
+    /// direction passes [`OOO_LINK_BOUND`] occupancy, else `"walker"`.
+    pub bottleneck: &'static str,
+}
+
+/// Pipeline depths the E20 sweep walks.
+pub const OOO_DEPTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Queue-pair counts the E20 sweep walks.
+pub const OOO_QUEUES: [u16; 3] = [1, 4, 8];
+
+/// Wire-occupancy fraction above which a sweep point is classified as
+/// link-bound rather than walker-bound.
+pub const OOO_LINK_BOUND: f64 = 0.85;
+
+/// E20: out-of-order descriptor pipeline. Sweeps the walker's
+/// outstanding-read window 1→8 across {split, packed} × {1, 4, 8}
+/// queue pairs at one payload. Depth 1 is the E19 engine bit-for-bit
+/// (serial walkers, strict FIFO reads); deeper windows overlap the
+/// descriptor fetch of round-trip *k+1* with the payload DMA of
+/// round-trip *k* under relaxed-ordering completion, moving the 256 B
+/// ceiling from the walker's non-posted latency chain toward Gen2 x2
+/// wire saturation — the crossover each row's `bottleneck` column
+/// reports.
+pub fn pipeline_depth(params: ExperimentParams, payload: usize) -> Vec<OooRow> {
+    let layouts = [
+        (DriverKind::VirtioMq, "split"),
+        (DriverKind::VirtioMqPacked, "packed"),
+    ];
+    let mut configs = Vec::new();
+    for (driver, _) in layouts {
+        for &queues in &OOO_QUEUES {
+            for &depth in &OOO_DEPTHS {
+                let mut cfg = TestbedConfig::paper(driver, payload, params.packets, params.seed);
+                cfg.options.mq_queue_pairs = queues;
+                cfg.options.pipeline_depth = depth;
+                configs.push(cfg);
+            }
+        }
+    }
+    let results = parallel_map(configs, params.threads, |cfg| {
+        crate::mq::run_mq(cfg, MQ_SWEEP_DEPTH)
+    });
+
+    let mut rows = Vec::new();
+    let mut it = results.into_iter();
+    for (_, layout) in layouts {
+        for &queues in &OOO_QUEUES {
+            let group: Vec<crate::mq::MqThroughputResult> =
+                (0..OOO_DEPTHS.len()).map(|_| it.next().unwrap()).collect();
+            let base_pps = group[0].pps;
+            for (&depth, r) in OOO_DEPTHS.iter().zip(group) {
+                assert_eq!(r.verify_failures, 0);
+                let occupied = r.link_util_up.max(r.link_util_down);
+                rows.push(OooRow {
+                    payload,
+                    layout,
+                    queues,
+                    depth,
+                    pps: r.pps,
+                    speedup: r.pps / base_pps,
+                    link_util_up: r.link_util_up,
+                    link_util_down: r.link_util_down,
+                    peak_np_inflight: r.peak_np_inflight,
+                    bottleneck: if occupied >= OOO_LINK_BOUND {
+                        "link"
+                    } else {
+                        "walker"
+                    },
+                });
+            }
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1044,6 +1142,38 @@ mod tests {
         for row in fig3(&mut m) {
             assert!(row.virtio.std_us < row.xdma.std_us);
             assert_eq!(row.virtio_hist.total(), 2_500);
+        }
+    }
+
+    #[test]
+    fn pipeline_depth_sweep_shapes_hold() {
+        let rows = pipeline_depth(
+            ExperimentParams {
+                packets: 400,
+                seed: 13,
+                threads: 8,
+            },
+            256,
+        );
+        assert_eq!(rows.len(), 2 * OOO_QUEUES.len() * OOO_DEPTHS.len());
+        for group in rows.chunks(OOO_DEPTHS.len()) {
+            // Depth 1 is the baseline of its own group...
+            assert_eq!(group[0].depth, 1);
+            assert_eq!(group[0].speedup, 1.0);
+            assert_eq!(group[0].peak_np_inflight, 0);
+            for r in &group[1..] {
+                // ...and any deeper window is no slower.
+                assert!(
+                    r.speedup >= 1.0,
+                    "{} q{} depth {}: speedup {}",
+                    r.layout,
+                    r.queues,
+                    r.depth,
+                    r.speedup
+                );
+                assert!(r.peak_np_inflight > 1, "pipeline never materialized");
+                assert!(r.peak_np_inflight <= r.depth as u64);
+            }
         }
     }
 

@@ -47,7 +47,7 @@ pub use mq::{run_mq, MqThroughputResult, MAX_QUEUE_PAIRS};
 pub use pipeline::{run_pipelined, xdma_serial_pps, ThroughputResult};
 pub use pmd::{run_pmd, PmdRun};
 pub use report::{render_breakdown, render_table1, RunResult};
-pub use testbed::{DriverKind, Testbed, TestbedConfig, TestbedOptions};
+pub use testbed::{DriverKind, RssMode, Testbed, TestbedConfig, TestbedOptions};
 pub use traced::{reconcile, traced_run, TracedRun};
 
 /// The payload sizes of the paper's evaluation (§V).

@@ -12,12 +12,12 @@
 //! PCIe link, which is exactly the paper's Gen2 x2 bottleneck the
 //! experiment sweeps toward.
 //!
-//! Two worlds share one bring-up ([`MqParts`]):
+//! Two worlds share one bring-up (`MqParts`):
 //!
-//! * [`MqWorld`] — serial request-response, round-robin across pairs,
+//! * `MqWorld` — serial request-response, round-robin across pairs,
 //!   recorded through the standard [`RoundTripRecorder`] so
-//!   `DriverKind::VirtioMq` runs through [`Testbed::run`] and the trace
-//!   reconciliation harness like every other driver;
+//!   `DriverKind::VirtioMq` runs through [`crate::Testbed::run`] and the
+//!   trace reconciliation harness like every other driver;
 //! * [`run_mq`] — pipelined offered load with a per-queue window,
 //!   the E19 measurement proper: aggregate pps, per-queue latency,
 //!   doorbell/irq suppression, and link utilization per queue count.
@@ -27,8 +27,8 @@ use std::collections::HashMap;
 use vf_fpga::user_logic::UdpEcho;
 use vf_fpga::{bar0, MmioEvent, Persona, VirtioFpgaDevice};
 use vf_hostsw::{
-    probe_mq, Ipv4Addr, MacAddr, MultiCoreHost, SockError, UdpStack, VirtioNetMqDriver,
-    CTRL_QUEUE_SIZE,
+    probe_mq, probe_mq_packed, Ipv4Addr, MacAddr, MultiCoreHost, SockError, UdpStack,
+    VirtioNetMqDriver, VirtioNetMqPackedDriver, CTRL_QUEUE_SIZE,
 };
 use vf_pcie::{enumerate, HostMemory, MmioAllocator, PcieLink, MSI_ADDR_BASE};
 use vf_sim::{SampleSet, SimRng, Simulation, Time, World};
@@ -36,7 +36,7 @@ use vf_virtio::net::VirtioNetConfig;
 use vf_virtio::{feature, net, DeviceType};
 
 use crate::driver_model::{DriverModel, RoundTripRecorder, RunStats};
-use crate::testbed::{DriverKind, TestbedConfig, Transport};
+use crate::testbed::{DriverKind, RssMode, TestbedConfig, Transport};
 
 /// Most queue pairs a world will drive. Bounded by the static RTT-name
 /// table (trace roots must be `&'static str`), not by the device model.
@@ -67,6 +67,87 @@ const MQ_RTT_NAMES: [&str; MAX_QUEUE_PAIRS as usize] = [
 /// `dst_port % pairs` steering maps flow `i` exactly to pair `i`.
 const FLOW_PORT_BASE: u16 = 40_000;
 
+/// The front end driving an MQ world: split rings (E19) or packed
+/// rings (E20's MQ×packed fusion). Both expose the same pair-indexed
+/// data path and control-queue surface, so the worlds are layout-blind.
+pub(crate) enum MqDriver {
+    Split(VirtioNetMqDriver),
+    Packed(VirtioNetMqPackedDriver),
+}
+
+impl MqDriver {
+    fn xmit(
+        &mut self,
+        mem: &mut HostMemory,
+        pair: u16,
+        frame: &[u8],
+        cost: &mut vf_hostsw::CostEngine,
+    ) -> vf_hostsw::XmitResult {
+        match self {
+            MqDriver::Split(d) => d.xmit(mem, pair, frame, cost),
+            MqDriver::Packed(d) => d.xmit(mem, pair, frame, cost),
+        }
+    }
+
+    fn napi_poll(
+        &mut self,
+        mem: &mut HostMemory,
+        pair: u16,
+        cost: &mut vf_hostsw::CostEngine,
+    ) -> (Vec<vf_hostsw::RxFrame>, Time) {
+        match self {
+            MqDriver::Split(d) => d.napi_poll(mem, pair, cost),
+            MqDriver::Packed(d) => d.napi_poll(mem, pair, cost),
+        }
+    }
+
+    fn set_queue_pairs(&mut self, mem: &mut HostMemory, pairs: u16) -> bool {
+        match self {
+            MqDriver::Split(d) => d.set_queue_pairs(mem, pairs),
+            MqDriver::Packed(d) => d.set_queue_pairs(mem, pairs),
+        }
+    }
+
+    fn set_rss(&mut self, mem: &mut HostMemory, table: &[u16], key: &[u8]) -> bool {
+        match self {
+            MqDriver::Split(d) => d.set_rss(mem, table, key),
+            MqDriver::Packed(d) => d.set_rss(mem, table, key),
+        }
+    }
+
+    fn ctrl_ack(&mut self, mem: &mut HostMemory) -> Option<u8> {
+        match self {
+            MqDriver::Split(d) => d.ctrl_ack(mem),
+            MqDriver::Packed(d) => d.ctrl_ack(mem),
+        }
+    }
+
+    fn csum_offload(&self, pair: u16) -> bool {
+        match self {
+            MqDriver::Split(d) => d.pairs[pair as usize].csum_offload(),
+            MqDriver::Packed(d) => d.pairs[pair as usize].csum_offload(),
+        }
+    }
+}
+
+/// The Toeplitz indirection table the MQ bring-up programs: every slot
+/// defaults to `slot % pairs`, then each measured flow's hash slot is
+/// pinned to its pair — so flow `i` (UDP source port
+/// `FLOW_PORT_BASE + i`) steers to pair `i` exactly like the modulo
+/// fallback, while unpinned traffic still spreads over all pairs.
+fn pinned_rss_table(pairs: u16) -> Vec<u16> {
+    let mut table: Vec<u16> = (0..net::RSS_TABLE_LEN as u16)
+        .map(|slot| slot % pairs)
+        .collect();
+    for pair in 0..pairs {
+        let port = FLOW_PORT_BASE + pair;
+        let slot = net::toeplitz_hash(&net::RSS_DEFAULT_KEY, &port.to_be_bytes()) as usize
+            & (net::RSS_TABLE_LEN - 1);
+        table[slot] = pair;
+    }
+    table
+}
+
 /// A fully brought-up multi-queue testbed: device with `2N + 1` queues,
 /// probed MQ driver, `MQ_VQ_PAIRS_SET` acknowledged, one host core per
 /// pair. Bring-up (including the ctrl-vq exchange) happens "before
@@ -76,7 +157,7 @@ pub(crate) struct MqParts {
     pub(crate) mem: HostMemory,
     pub(crate) link: PcieLink,
     pub(crate) device: VirtioFpgaDevice,
-    pub(crate) driver: VirtioNetMqDriver,
+    pub(crate) driver: MqDriver,
     pub(crate) stack: UdpStack,
     pub(crate) host: MultiCoreHost,
     pub(crate) payload_rng: SimRng,
@@ -111,6 +192,11 @@ impl MqParts {
         // posted-credit pipeline) serializes across pairs.
         let mut link_cfg = cfg.calibration.link.clone();
         link_cfg.multi_tag = true;
+        // E20: each walker tag may keep `pipeline_depth` non-posted
+        // reads in flight; beyond depth 1 the completions relax their
+        // ordering (safe for descriptor reads — see DESIGN.md).
+        link_cfg.max_outstanding_np = cfg.options.pipeline_depth.max(1);
+        link_cfg.relaxed_ordering = link_cfg.max_outstanding_np > 1;
         let mut link = PcieLink::new(link_cfg.clone());
         let rng = SimRng::new(cfg.seed);
         let host = MultiCoreHost::new(
@@ -141,8 +227,11 @@ impl MqParts {
         let info = enumerate(&mut device.config_space, &mut alloc);
         assert_eq!(info.vendor, vf_pcie::VIRTIO_VENDOR_ID);
 
+        let packed = cfg.driver == DriverKind::VirtioMqPacked;
         let mut want = feature::VERSION_1;
-        if cfg.options.event_idx {
+        if cfg.options.event_idx && !packed {
+            // The packed front end runs without EVENT_IDX (every TX
+            // publish rings the doorbell), like the E17 single-queue one.
             want |= feature::RING_EVENT_IDX;
         }
         want |= net::feature::MAC
@@ -153,9 +242,19 @@ impl MqParts {
         if cfg.options.csum_offload {
             want |= net::feature::CSUM | net::feature::GUEST_CSUM;
         }
-        let mut driver = VirtioNetMqDriver::init(&mut mem, cfg.options.queue_size, pairs, want);
-        let out = probe_mq(&mut Transport(&mut device), &driver, want).expect("mq probe");
-        assert_eq!(out.max_pairs, pairs);
+        let mut driver = if packed {
+            want |= feature::RING_PACKED;
+            let drv = VirtioNetMqPackedDriver::init(&mut mem, cfg.options.queue_size, pairs, want);
+            let out =
+                probe_mq_packed(&mut Transport(&mut device), &drv, want).expect("mq packed probe");
+            assert_eq!(out.max_pairs, pairs);
+            MqDriver::Packed(drv)
+        } else {
+            let drv = VirtioNetMqDriver::init(&mut mem, cfg.options.queue_size, pairs, want);
+            let out = probe_mq(&mut Transport(&mut device), &drv, want).expect("mq probe");
+            assert_eq!(out.max_pairs, pairs);
+            MqDriver::Split(drv)
+        };
         device.msix_enable();
         // One vector per queue: 2N data vectors + the ctrl vector.
         for v in 0..(2 * pairs as u64 + 1) {
@@ -168,19 +267,37 @@ impl MqParts {
         // Activate all pairs through the control virtqueue. This is
         // part of `ndo_open`, so it runs at bring-up time, before the
         // measured workload.
-        let ctrl_q = net::ctrl_queue_index(out.max_pairs);
+        let ctrl_q = net::ctrl_queue_index(pairs);
+        let ctrl_command = |device: &mut VirtioFpgaDevice,
+                            mem: &mut HostMemory,
+                            link: &mut PcieLink,
+                            driver: &mut MqDriver,
+                            notify: bool| {
+            assert!(notify, "ctrl command must ring the doorbell");
+            let ev = device.mmio_write(
+                bar0::NOTIFY + u64::from(ctrl_q) * u64::from(bar0::NOTIFY_MULTIPLIER),
+                2,
+                u64::from(ctrl_q),
+            );
+            debug_assert_eq!(ev, Some(MmioEvent::Notify(ctrl_q)));
+            let ctrl_out = device.process_ctrl_notify(Time::ZERO, ctrl_q, mem, link);
+            assert!(ctrl_out.delivered);
+            assert_eq!(driver.ctrl_ack(mem), Some(net::ctrl::OK));
+        };
         let notify = driver.set_queue_pairs(&mut mem, pairs);
-        assert!(notify, "first ctrl command must ring the doorbell");
-        let ev = device.mmio_write(
-            bar0::NOTIFY + u64::from(ctrl_q) * u64::from(bar0::NOTIFY_MULTIPLIER),
-            2,
-            u64::from(ctrl_q),
-        );
-        debug_assert_eq!(ev, Some(MmioEvent::Notify(ctrl_q)));
-        let ctrl_out = device.process_ctrl_notify(Time::ZERO, ctrl_q, &mut mem, &mut link);
-        assert!(ctrl_out.delivered);
-        assert_eq!(driver.ctrl_ack(&mut mem), Some(net::ctrl::OK));
+        ctrl_command(&mut device, &mut mem, &mut link, &mut driver, notify);
         assert_eq!(device.active_queue_pairs(), pairs);
+
+        // RSS bring-up (default): program the Toeplitz indirection
+        // table through the control queue, pinning each measured flow
+        // to its pair. `RssMode::PortModulo` skips this, leaving the
+        // device on the legacy `dst_port % pairs` fallback.
+        if cfg.options.rss == RssMode::Toeplitz {
+            let table = pinned_rss_table(pairs);
+            let notify = driver.set_rss(&mut mem, &table, &net::RSS_DEFAULT_KEY);
+            ctrl_command(&mut device, &mut mem, &mut link, &mut driver, notify);
+            assert_eq!(device.rss_indirection(), Some(&table[..]));
+        }
 
         let host_ip = Ipv4Addr::new(10, 0, 0, 1);
         let fpga_ip = Ipv4Addr::new(10, 0, 0, 2);
@@ -211,6 +328,10 @@ impl MqParts {
             notifications: self.device.stats.notifications - self.base_notifications,
             irqs: self.device.stats.irqs_sent - self.base_irqs,
             desc_reads: self.device.stats.desc_reads - self.base_desc_reads,
+            // A high-water mark, not a counter: bring-up's ctrl
+            // exchange never uses the pipelined walkers, so no base to
+            // subtract.
+            walker_peak_inflight: self.device.stats.walker_peak_inflight,
         }
     }
 }
@@ -271,7 +392,7 @@ impl World for MqWorld {
                 let mut payload = vec![0u8; self.payload];
                 parts.payload_rng.fill_bytes(&mut payload);
                 self.expected = payload.clone();
-                let offload = parts.driver.pairs[pair as usize].csum_offload();
+                let offload = parts.driver.csum_offload(pair);
 
                 let cpu = parts.host.cpu_for_pair(pair);
                 let (frame, d) = parts
@@ -476,6 +597,9 @@ pub struct MqThroughputResult {
     pub link_util_up: f64,
     /// Fraction of the run the downstream (host→device) wire was busy.
     pub link_util_down: f64,
+    /// Highest number of non-posted reads one walker tag held in
+    /// flight (0 when the serial walkers ran, i.e. depth 1).
+    pub peak_np_inflight: u64,
 }
 
 impl MqThroughputResult {
@@ -709,7 +833,13 @@ impl World for MqPipelinedWorld {
 /// (from `cfg.options`), each with a `depth`-deep window, until
 /// `cfg.packets` total round trips complete.
 pub fn run_mq(cfg: &TestbedConfig, depth: usize) -> MqThroughputResult {
-    assert_eq!(cfg.driver, DriverKind::VirtioMq, "run_mq drives VirtioMq");
+    assert!(
+        matches!(
+            cfg.driver,
+            DriverKind::VirtioMq | DriverKind::VirtioMqPacked
+        ),
+        "run_mq drives the MQ front ends"
+    );
     assert!(
         depth <= cfg.options.queue_size as usize / 2,
         "window must fit the TX ring ({} two-descriptor chains)",
@@ -743,6 +873,7 @@ pub fn run_mq(cfg: &TestbedConfig, depth: usize) -> MqThroughputResult {
         verify_failures: w.verify_failures,
         link_util_up: wire(link.up_wire_bytes),
         link_util_down: wire(link.down_wire_bytes),
+        peak_np_inflight: stats.walker_peak_inflight,
     }
 }
 
@@ -751,10 +882,14 @@ mod tests {
     use super::*;
     use crate::testbed::Testbed;
 
-    fn cfg(pairs: u16, packets: usize) -> TestbedConfig {
-        let mut c = TestbedConfig::paper(DriverKind::VirtioMq, 256, packets, 77);
+    fn cfg_for(driver: DriverKind, pairs: u16, packets: usize) -> TestbedConfig {
+        let mut c = TestbedConfig::paper(driver, 256, packets, 77);
         c.options.mq_queue_pairs = pairs;
         c
+    }
+
+    fn cfg(pairs: u16, packets: usize) -> TestbedConfig {
+        cfg_for(DriverKind::VirtioMq, pairs, packets)
     }
 
     #[test]
@@ -810,6 +945,71 @@ mod tests {
         assert_eq!(a.pps.to_bits(), b.pps.to_bits());
         for (x, y) in a.per_queue_latency.iter().zip(&b.per_queue_latency) {
             assert_eq!(x.raw(), y.raw());
+        }
+    }
+
+    /// The Toeplitz indirection table pins every measured flow to the
+    /// same pair the modulo fallback picks, and its bring-up traffic is
+    /// excluded from measurement — so the two steering modes must
+    /// produce bit-identical runs. This is the E19 golden-equivalence
+    /// guarantee the RSS satellite demands.
+    #[test]
+    fn toeplitz_steering_is_bit_identical_to_modulo() {
+        let a = run_mq(&cfg(4, 800), 8);
+        let mut c = cfg(4, 800);
+        c.options.rss = RssMode::PortModulo;
+        let b = run_mq(&c, 8);
+        assert_eq!(a.pps.to_bits(), b.pps.to_bits());
+        for (x, y) in a.per_queue_latency.iter().zip(&b.per_queue_latency) {
+            assert_eq!(x.raw(), y.raw());
+        }
+    }
+
+    #[test]
+    fn packed_mq_world_round_trips_serially() {
+        let r = Testbed::new(cfg_for(DriverKind::VirtioMqPacked, 4, 300)).run();
+        assert_eq!(r.verify_failures, 0);
+        // No EVENT_IDX on the packed front end: one doorbell per packet
+        // and one unconditional RX vector per delivery.
+        assert_eq!(r.notifications, 300);
+        assert_eq!(r.irqs, 300);
+    }
+
+    #[test]
+    fn packed_mq_pipeline_is_deterministic() {
+        let mk = || {
+            let mut c = cfg_for(DriverKind::VirtioMqPacked, 2, 400);
+            c.options.pipeline_depth = 4;
+            c
+        };
+        let a = run_mq(&mk(), 8);
+        let b = run_mq(&mk(), 8);
+        assert_eq!(a.verify_failures, 0);
+        assert_eq!(a.pps.to_bits(), b.pps.to_bits());
+    }
+
+    /// E20's headline: depth > 1 strictly beats the serial walkers at
+    /// 256 B for both ring layouts, and the link reports the deeper
+    /// window actually materialized.
+    #[test]
+    fn pipelined_walkers_beat_serial_at_256b() {
+        for driver in [DriverKind::VirtioMq, DriverKind::VirtioMqPacked] {
+            let base = run_mq(&cfg_for(driver, 4, 1_000), 16);
+            let mut deep_cfg = cfg_for(driver, 4, 1_000);
+            deep_cfg.options.pipeline_depth = 4;
+            let deep = run_mq(&deep_cfg, 16);
+            assert_eq!(deep.verify_failures, 0);
+            assert_eq!(base.peak_np_inflight, 0, "{driver:?} serial walkers");
+            assert!(
+                deep.peak_np_inflight > 1,
+                "{driver:?} pipelined walkers never overlapped reads"
+            );
+            assert!(
+                deep.pps > base.pps,
+                "{driver:?}: depth 4 ({:.0} pps) must beat depth 1 ({:.0} pps)",
+                deep.pps,
+                base.pps
+            );
         }
     }
 

@@ -390,6 +390,7 @@ impl DriverModel for PmdWorld {
             notifications: self.driver.stats.doorbells,
             irqs: self.device.stats.irqs_sent,
             desc_reads: self.device.stats.desc_reads,
+            walker_peak_inflight: self.device.stats.walker_peak_inflight,
         };
         let packets = self.rec.totals.len().max(1) as f64;
         let cpu_us_per_packet = self.cost.total_cpu().as_us_f64() / packets;

@@ -58,6 +58,12 @@ pub enum DriverKind {
     /// MSI-X vector pinned to its own simulated host core. Pair count
     /// comes from [`TestbedOptions::mq_queue_pairs`].
     VirtioMq,
+    /// MQ×packed fusion (E20): the multi-queue front end of
+    /// [`DriverKind::VirtioMq`] over the packed virtqueue layout of
+    /// [`DriverKind::VirtioPacked`] — N packed queue pairs plus a
+    /// packed control virtqueue, packed walkers per pair on the
+    /// device side.
+    VirtioMqPacked,
 }
 
 impl DriverKind {
@@ -69,6 +75,7 @@ impl DriverKind {
             DriverKind::VirtioPmd => "VirtIO-PMD",
             DriverKind::VirtioPacked => "VirtIO-packed",
             DriverKind::VirtioMq => "VirtIO-MQ",
+            DriverKind::VirtioMqPacked => "VirtIO-MQ-packed",
         }
     }
 }
@@ -113,6 +120,27 @@ pub struct TestbedOptions {
     /// Must be a power of two ≤ 8 (the flow-steering hash pins flow
     /// *i* to pair *i* only for power-of-two counts).
     pub mq_queue_pairs: u16,
+    /// E20 (MQ worlds only): maximum non-posted reads one DMA tag may
+    /// keep in flight. `1` (default) is the strict serial walker —
+    /// bit-identical to the E19 engine; `> 1` enables the pipelined
+    /// virtqueue walkers and relaxed-ordering completion on the link.
+    pub pipeline_depth: usize,
+    /// RSS steering mode of the MQ controller (see [`RssMode`]).
+    pub rss: RssMode,
+}
+
+/// How the MQ device steers echoed flows back to queue pairs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RssMode {
+    /// Toeplitz hash over the UDP destination port into a 128-entry
+    /// indirection table (`VIRTIO_NET_F_RSS`-shaped), programmed at
+    /// bring-up through the control virtqueue with each flow's hash
+    /// slot pinned to its pair. The default.
+    Toeplitz,
+    /// Legacy `dst_port % pairs` steering — the pre-RSS E19 behaviour,
+    /// kept as a fallback so the E19 goldens can be re-derived against
+    /// the original steering function deliberately.
+    PortModulo,
 }
 
 impl Default for TestbedOptions {
@@ -128,6 +156,8 @@ impl Default for TestbedOptions {
             pmd_adaptive_idle: None,
             pmd_send_interval: None,
             mq_queue_pairs: 1,
+            pipeline_depth: 1,
+            rss: RssMode::Toeplitz,
         }
     }
 }
@@ -781,6 +811,7 @@ impl DriverModel for VirtioWorld {
             notifications: self.device.stats.notifications,
             irqs: self.device.stats.irqs_sent,
             desc_reads: self.device.stats.desc_reads,
+            walker_peak_inflight: self.device.stats.walker_peak_inflight,
         };
         (self.rec, stats, ())
     }
@@ -1171,6 +1202,7 @@ impl DriverModel for XdmaWorld {
             // too, but that cost is folded into the engine's run model
             // and not counted as ring-metadata reads.
             desc_reads: 0,
+            walker_peak_inflight: 0,
         };
         (self.rec, stats, ())
     }
@@ -1199,7 +1231,9 @@ impl Testbed {
         match self.cfg.driver {
             DriverKind::Virtio | DriverKind::VirtioPacked => run_world::<VirtioWorld>(&self.cfg).0,
             DriverKind::VirtioPmd => crate::pmd::run_pmd(&self.cfg).result,
-            DriverKind::VirtioMq => run_world::<crate::mq::MqWorld>(&self.cfg).0,
+            DriverKind::VirtioMq | DriverKind::VirtioMqPacked => {
+                run_world::<crate::mq::MqWorld>(&self.cfg).0
+            }
             DriverKind::Xdma => run_world::<XdmaWorld>(&self.cfg).0,
         }
     }

@@ -15,6 +15,8 @@
 //!   *packed* virtqueue layout (experiment E17);
 //! * [`virtio_mq`] — the `VIRTIO_NET_F_MQ` multi-queue front end: N
 //!   queue pairs plus the control virtqueue (experiment E19);
+//! * [`virtio_mq_packed`] — the MQ×packed fusion: multi-queue over
+//!   packed rings, including a packed control virtqueue (E20);
 //! * [`multicore`] — per-CPU cost/scheduler contexts so each queue
 //!   pair's NAPI work runs on its own simulated core;
 //! * [`xdma_char`] — the vendor reference character-device driver
@@ -49,6 +51,7 @@ pub mod packet;
 pub mod udp;
 pub mod virtio_console;
 pub mod virtio_mq;
+pub mod virtio_mq_packed;
 pub mod virtio_net;
 pub mod virtio_packed;
 pub mod xdma_char;
@@ -63,6 +66,7 @@ pub use packet::{
 pub use udp::{SockError, UdpStack};
 pub use virtio_console::VirtioConsoleDriver;
 pub use virtio_mq::{probe_mq, MqProbeOutcome, VirtioNetMqDriver, CTRL_QUEUE_SIZE};
+pub use virtio_mq_packed::{probe_mq_packed, VirtioNetMqPackedDriver};
 pub use virtio_net::{
     probe, ProbeError, ProbeOutcome, RxFrame, VirtioNetDriver, VirtioTransport, XmitResult,
 };

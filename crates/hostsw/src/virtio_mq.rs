@@ -49,8 +49,14 @@ pub struct VirtioNetMqDriver {
     /// Negotiated feature bits.
     pub features: u64,
     ctrl_cmd_buf: u64,
+    ctrl_rss_buf: u64,
     ctrl_ack_buf: u64,
 }
+
+/// Bytes a serialized `MQ_RSS_CONFIG` command can occupy at most:
+/// class + cmd + le16 table length, the 128-entry le16 indirection
+/// table, a key-length byte, and the 40-byte Toeplitz key.
+pub(crate) const RSS_CMD_MAX: usize = 4 + 2 * net::RSS_TABLE_LEN + 1 + net::RSS_KEY_LEN;
 
 impl VirtioNetMqDriver {
     /// Allocate `pairs` queue pairs of `queue_size` descriptors each,
@@ -71,12 +77,14 @@ impl VirtioNetMqDriver {
             event_idx,
         );
         let ctrl_cmd_buf = mem.alloc(16, 16);
+        let ctrl_rss_buf = mem.alloc(RSS_CMD_MAX, 16);
         let ctrl_ack_buf = mem.alloc(1, 1);
         VirtioNetMqDriver {
             pairs: pair_drivers,
             ctrl,
             features,
             ctrl_cmd_buf,
+            ctrl_rss_buf,
             ctrl_ack_buf,
         }
     }
@@ -137,6 +145,34 @@ impl VirtioNetMqDriver {
                 &[
                     BufferSpec::readable(self.ctrl_cmd_buf, 2),
                     BufferSpec::readable(self.ctrl_cmd_buf + 2, 2),
+                    BufferSpec::writable(self.ctrl_ack_buf, 1),
+                ],
+            )
+            .expect("ctrl ring full");
+        self.ctrl.needs_notify(mem, old)
+    }
+
+    /// Publish a `MQ_RSS_CONFIG` command carrying `table` (the
+    /// indirection table, power-of-two entries) and the 40-byte
+    /// Toeplitz `key`. Returns whether the doorbell must ring.
+    pub fn set_rss(&mut self, mem: &mut HostMemory, table: &[u16], key: &[u8]) -> bool {
+        let mut cmd = Vec::with_capacity(RSS_CMD_MAX);
+        cmd.extend_from_slice(&[net::ctrl::CLASS_MQ, net::ctrl::MQ_RSS_CONFIG]);
+        cmd.extend_from_slice(&(table.len() as u16).to_le_bytes());
+        for entry in table {
+            cmd.extend_from_slice(&entry.to_le_bytes());
+        }
+        cmd.push(key.len() as u8);
+        cmd.extend_from_slice(key);
+        assert!(cmd.len() <= RSS_CMD_MAX, "RSS command overflows its buffer");
+        GuestMemory::write(mem, self.ctrl_rss_buf, &cmd);
+        GuestMemory::write(mem, self.ctrl_ack_buf, &[0xAA]);
+        let old = self.ctrl.avail_idx();
+        self.ctrl
+            .add_and_publish(
+                mem,
+                &[
+                    BufferSpec::readable(self.ctrl_rss_buf, cmd.len() as u32),
                     BufferSpec::writable(self.ctrl_ack_buf, 1),
                 ],
             )
@@ -370,6 +406,42 @@ mod tests {
         dev.complete(&mut mem, chain.head, 1);
         assert_eq!(drv.ctrl_ack(&mut mem), Some(net::ctrl::OK));
         assert_eq!(drv.ctrl_ack(&mut mem), None);
+    }
+
+    #[test]
+    fn rss_command_serializes_table_and_key() {
+        let mut mem = HostMemory::testbed_default();
+        let mut drv = VirtioNetMqDriver::init(&mut mem, 64, 2, want());
+        let table: Vec<u16> = (0..net::RSS_TABLE_LEN as u16).map(|i| i % 2).collect();
+        assert!(drv.set_rss(&mut mem, &table, &net::RSS_DEFAULT_KEY));
+        let mut dev = vf_virtio::device_queue::DeviceQueue::new(drv.ctrl_layout(), true, false);
+        let chain = dev.pop_chain(&mem).unwrap().unwrap();
+        let readable: Vec<u8> = chain
+            .bufs
+            .iter()
+            .filter(|b| !b.writable)
+            .flat_map(|b| mem.slice(b.addr, b.len as usize).to_vec())
+            .collect();
+        assert_eq!(
+            &readable[..2],
+            &[net::ctrl::CLASS_MQ, net::ctrl::MQ_RSS_CONFIG]
+        );
+        assert_eq!(
+            u16::from_le_bytes([readable[2], readable[3]]) as usize,
+            net::RSS_TABLE_LEN
+        );
+        let entries: Vec<u16> = readable[4..4 + 2 * net::RSS_TABLE_LEN]
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        assert_eq!(entries, table);
+        let key_off = 4 + 2 * net::RSS_TABLE_LEN;
+        assert_eq!(readable[key_off] as usize, net::RSS_KEY_LEN);
+        assert_eq!(&readable[key_off + 1..], &net::RSS_DEFAULT_KEY);
+        let ack = chain.bufs.iter().rev().find(|b| b.writable).unwrap();
+        GuestMemory::write(&mut mem, ack.addr, &[net::ctrl::OK]);
+        dev.complete(&mut mem, chain.head, 1);
+        assert_eq!(drv.ctrl_ack(&mut mem), Some(net::ctrl::OK));
     }
 
     #[test]

@@ -1,0 +1,451 @@
+//! Multi-queue virtio-net front end over **packed** rings (E20).
+//!
+//! The MQ×packed fusion: N independent [`VirtioPackedDriver`] queue
+//! pairs (each with its own packed TX/RX descriptor rings, TX slabs,
+//! and pre-posted RX buffers) plus a packed-layout control virtqueue.
+//! Queue numbering is identical to the split MQ front end — pair *i*
+//! is `receiveq` `2i` / `transmitq` `2i+1`, ctrl vq last — so the
+//! device model's steering and MSI-X routing are layout-agnostic.
+//!
+//! Feature-set consequence carried over from the single-queue packed
+//! front end: `RING_PACKED` is negotiated without `RING_EVENT_IDX`, so
+//! every publish (data or control) rings its doorbell and the device
+//! never suppresses a vector.
+
+use vf_pcie::HostMemory;
+use vf_sim::Time;
+use vf_virtio::packed::{PackedBuffer, PackedDesc, PackedDriverQueue};
+use vf_virtio::pci::common;
+use vf_virtio::{feature as core_feature, net, status, GuestMemory};
+
+use crate::cost::CostEngine;
+use crate::virtio_mq::{MqProbeOutcome, CTRL_QUEUE_SIZE, RSS_CMD_MAX};
+use crate::virtio_net::{ProbeError, RxFrame, VirtioTransport, XmitResult};
+use crate::virtio_packed::VirtioPackedDriver;
+
+/// The packed multi-queue driver: N packed data-queue pairs plus a
+/// packed control queue.
+#[derive(Clone, Debug)]
+pub struct VirtioNetMqPackedDriver {
+    /// One fully-independent packed single-queue driver per pair.
+    pub pairs: Vec<VirtioPackedDriver>,
+    /// Driver side of the control virtqueue (packed layout).
+    pub ctrl: PackedDriverQueue,
+    /// Negotiated feature bits.
+    pub features: u64,
+    ctrl_ring: u64,
+    ctrl_cmd_buf: u64,
+    ctrl_rss_buf: u64,
+    ctrl_ack_buf: u64,
+}
+
+impl VirtioNetMqPackedDriver {
+    /// Allocate `pairs` packed queue pairs of `queue_size` descriptors
+    /// each, plus the packed control ring and its bounce buffers.
+    /// `features` must include `RING_PACKED`.
+    pub fn init(mem: &mut HostMemory, queue_size: u16, pairs: u16, features: u64) -> Self {
+        assert!(pairs >= 1, "need at least one queue pair");
+        assert!(
+            features & core_feature::RING_PACKED != 0,
+            "the packed MQ front end requires RING_PACKED"
+        );
+        let pair_drivers = (0..pairs)
+            .map(|_| VirtioPackedDriver::init(mem, queue_size, features))
+            .collect();
+        let ctrl_ring = mem.alloc(CTRL_QUEUE_SIZE as usize * PackedDesc::SIZE as usize, 4096);
+        let ctrl = PackedDriverQueue::new(ctrl_ring, CTRL_QUEUE_SIZE);
+        let ctrl_cmd_buf = mem.alloc(16, 16);
+        let ctrl_rss_buf = mem.alloc(RSS_CMD_MAX, 16);
+        let ctrl_ack_buf = mem.alloc(1, 1);
+        VirtioNetMqPackedDriver {
+            pairs: pair_drivers,
+            ctrl,
+            features,
+            ctrl_ring,
+            ctrl_cmd_buf,
+            ctrl_rss_buf,
+            ctrl_ack_buf,
+        }
+    }
+
+    /// Number of queue pairs this driver instance drives.
+    pub fn num_pairs(&self) -> u16 {
+        self.pairs.len() as u16
+    }
+
+    /// Queue index of this driver's control virtqueue, given the
+    /// device's advertised `max_virtqueue_pairs`.
+    pub fn ctrl_queue_index(&self, max_pairs: u16) -> u16 {
+        net::ctrl_queue_index(max_pairs)
+    }
+
+    /// Guest-physical base of the packed control descriptor ring.
+    pub fn ctrl_ring(&self) -> u64 {
+        self.ctrl_ring
+    }
+
+    /// Transmit `frame` on queue pair `pair`.
+    pub fn xmit(
+        &mut self,
+        mem: &mut HostMemory,
+        pair: u16,
+        frame: &[u8],
+        cost: &mut CostEngine,
+    ) -> XmitResult {
+        self.pairs[pair as usize].xmit(mem, frame, cost)
+    }
+
+    /// NAPI poll of queue pair `pair`'s RX ring.
+    pub fn napi_poll(
+        &mut self,
+        mem: &mut HostMemory,
+        pair: u16,
+        cost: &mut CostEngine,
+    ) -> (Vec<RxFrame>, Time) {
+        self.pairs[pair as usize].napi_poll(mem, cost)
+    }
+
+    /// Publish a `VIRTIO_NET_CTRL_MQ_VQ_PAIRS_SET` command on the
+    /// control queue. Without `RING_EVENT_IDX` the doorbell always
+    /// rings, so this unconditionally returns `true`.
+    pub fn set_queue_pairs(&mut self, mem: &mut HostMemory, pairs: u16) -> bool {
+        GuestMemory::write(
+            mem,
+            self.ctrl_cmd_buf,
+            &[net::ctrl::CLASS_MQ, net::ctrl::MQ_VQ_PAIRS_SET],
+        );
+        GuestMemory::write(mem, self.ctrl_cmd_buf + 2, &pairs.to_le_bytes());
+        GuestMemory::write(mem, self.ctrl_ack_buf, &[0xAA]);
+        self.ctrl
+            .add(
+                mem,
+                &[
+                    PackedBuffer {
+                        addr: self.ctrl_cmd_buf,
+                        len: 4,
+                        writable: false,
+                    },
+                    PackedBuffer {
+                        addr: self.ctrl_ack_buf,
+                        len: 1,
+                        writable: true,
+                    },
+                ],
+            )
+            .expect("ctrl ring full");
+        true
+    }
+
+    /// Publish a `MQ_RSS_CONFIG` command carrying `table` and the
+    /// Toeplitz `key`. Always notifies (no `RING_EVENT_IDX`).
+    pub fn set_rss(&mut self, mem: &mut HostMemory, table: &[u16], key: &[u8]) -> bool {
+        let mut cmd = Vec::with_capacity(RSS_CMD_MAX);
+        cmd.extend_from_slice(&[net::ctrl::CLASS_MQ, net::ctrl::MQ_RSS_CONFIG]);
+        cmd.extend_from_slice(&(table.len() as u16).to_le_bytes());
+        for entry in table {
+            cmd.extend_from_slice(&entry.to_le_bytes());
+        }
+        cmd.push(key.len() as u8);
+        cmd.extend_from_slice(key);
+        assert!(cmd.len() <= RSS_CMD_MAX, "RSS command overflows its buffer");
+        GuestMemory::write(mem, self.ctrl_rss_buf, &cmd);
+        GuestMemory::write(mem, self.ctrl_ack_buf, &[0xAA]);
+        self.ctrl
+            .add(
+                mem,
+                &[
+                    PackedBuffer {
+                        addr: self.ctrl_rss_buf,
+                        len: cmd.len() as u32,
+                        writable: false,
+                    },
+                    PackedBuffer {
+                        addr: self.ctrl_ack_buf,
+                        len: 1,
+                        writable: true,
+                    },
+                ],
+            )
+            .expect("ctrl ring full");
+        true
+    }
+
+    /// Reap the ack of the oldest completed control command, if any.
+    pub fn ctrl_ack(&mut self, mem: &mut HostMemory) -> Option<u8> {
+        self.ctrl
+            .pop_used(mem)
+            .map(|_| mem.slice(self.ctrl_ack_buf, 1)[0])
+    }
+}
+
+/// Modern-PCI bring-up of the packed MQ device. Same choreography as
+/// [`probe_mq`](crate::virtio_mq::probe_mq) — status dance, feature
+/// windows, NUM_QUEUES / `max_virtqueue_pairs` checks, queue
+/// programming with MSI-X vector = queue index, `DRIVER_OK` — with the
+/// packed front end's rules: `RING_PACKED` must land (else FAILED
+/// before FEATURES_OK) and each queue programs only the
+/// descriptor-area address (driver/device areas written zero).
+pub fn probe_mq_packed<T: VirtioTransport>(
+    transport: &mut T,
+    driver: &VirtioNetMqPackedDriver,
+    want_features: u64,
+) -> Result<MqProbeOutcome, ProbeError> {
+    use common as c;
+    transport.common_write(c::DEVICE_STATUS, 1, 0);
+    transport.common_write(c::DEVICE_STATUS, 1, status::ACKNOWLEDGE as u64);
+    transport.common_write(
+        c::DEVICE_STATUS,
+        1,
+        (status::ACKNOWLEDGE | status::DRIVER) as u64,
+    );
+
+    transport.common_write(c::DEVICE_FEATURE_SELECT, 4, 0);
+    let lo = transport.common_read(c::DEVICE_FEATURE, 4);
+    transport.common_write(c::DEVICE_FEATURE_SELECT, 4, 1);
+    let hi = transport.common_read(c::DEVICE_FEATURE, 4);
+    let offered = lo | (hi << 32);
+    let accept = (offered & want_features) | core_feature::VERSION_1;
+    if accept & core_feature::RING_PACKED == 0 {
+        transport.common_write(
+            c::DEVICE_STATUS,
+            1,
+            (status::ACKNOWLEDGE | status::DRIVER | status::FAILED) as u64,
+        );
+        return Err(ProbeError::FeaturesRejected);
+    }
+
+    transport.common_write(c::DRIVER_FEATURE_SELECT, 4, 0);
+    transport.common_write(c::DRIVER_FEATURE, 4, accept & 0xFFFF_FFFF);
+    transport.common_write(c::DRIVER_FEATURE_SELECT, 4, 1);
+    transport.common_write(c::DRIVER_FEATURE, 4, accept >> 32);
+    transport.common_write(
+        c::DEVICE_STATUS,
+        1,
+        (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK) as u64,
+    );
+    if transport.common_read(c::DEVICE_STATUS, 1) as u8 & status::FEATURES_OK == 0 {
+        transport.common_write(
+            c::DEVICE_STATUS,
+            1,
+            (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::FAILED) as u64,
+        );
+        return Err(ProbeError::FeaturesRejected);
+    }
+    if driver.num_pairs() > 1 && accept & net::feature::MQ == 0 {
+        transport.common_write(
+            c::DEVICE_STATUS,
+            1,
+            (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::FAILED) as u64,
+        );
+        return Err(ProbeError::FeaturesRejected);
+    }
+
+    let pairs = driver.num_pairs();
+    let need = 2 * pairs + 1;
+    let num_queues = transport.common_read(c::NUM_QUEUES, 2) as u16;
+    if num_queues < need {
+        return Err(ProbeError::NotEnoughQueues {
+            have: num_queues,
+            need,
+        });
+    }
+
+    let max_pairs = transport.device_cfg_read(8, 2) as u16;
+    if max_pairs < pairs {
+        return Err(ProbeError::NotEnoughQueues {
+            have: 2 * max_pairs + 1,
+            need,
+        });
+    }
+
+    let mut programming: Vec<(u16, u64, u16)> = Vec::new();
+    for (i, pair) in driver.pairs.iter().enumerate() {
+        programming.push((
+            net::rx_queue_of_pair(i as u16),
+            pair.rx_ring(),
+            pair.queue_size(),
+        ));
+        programming.push((
+            net::tx_queue_of_pair(i as u16),
+            pair.tx_ring(),
+            pair.queue_size(),
+        ));
+    }
+    programming.push((
+        net::ctrl_queue_index(max_pairs),
+        driver.ctrl_ring(),
+        CTRL_QUEUE_SIZE,
+    ));
+    for (qi, ring, size) in programming {
+        transport.common_write(c::QUEUE_SELECT, 2, qi as u64);
+        transport.common_write(c::QUEUE_SIZE, 2, size as u64);
+        transport.common_write(c::QUEUE_MSIX_VECTOR, 2, qi as u64);
+        transport.common_write(c::QUEUE_DESC_LO, 4, ring & 0xFFFF_FFFF);
+        transport.common_write(c::QUEUE_DESC_HI, 4, ring >> 32);
+        transport.common_write(c::QUEUE_DRIVER_LO, 4, 0);
+        transport.common_write(c::QUEUE_DRIVER_HI, 4, 0);
+        transport.common_write(c::QUEUE_DEVICE_LO, 4, 0);
+        transport.common_write(c::QUEUE_DEVICE_HI, 4, 0);
+        transport.common_write(c::QUEUE_ENABLE, 2, 1);
+    }
+
+    transport.common_write(
+        c::DEVICE_STATUS,
+        1,
+        (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::DRIVER_OK) as u64,
+    );
+
+    let mut mac = [0u8; 6];
+    let mac_lo = transport.device_cfg_read(0, 4);
+    let mac_hi = transport.device_cfg_read(4, 2);
+    mac[..4].copy_from_slice(&(mac_lo as u32).to_le_bytes());
+    mac[4..].copy_from_slice(&(mac_hi as u16).to_le_bytes());
+    let mtu = transport.device_cfg_read(10, 2) as u16;
+
+    Ok(MqProbeOutcome {
+        features: accept,
+        mac,
+        mtu,
+        max_pairs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vf_virtio::net::VirtioNetConfig;
+    use vf_virtio::packed::PackedDeviceQueue;
+    use vf_virtio::pci::CommonCfg;
+
+    struct Loopback {
+        common: CommonCfg,
+        netcfg: VirtioNetConfig,
+    }
+
+    impl VirtioTransport for Loopback {
+        fn common_read(&mut self, off: u64, len: usize) -> u64 {
+            self.common.read(off, len)
+        }
+        fn common_write(&mut self, off: u64, len: usize, val: u64) {
+            let _ = self.common.write(off, len, val);
+        }
+        fn device_cfg_read(&mut self, off: u64, len: usize) -> u64 {
+            self.netcfg.read(off, len)
+        }
+    }
+
+    fn want() -> u64 {
+        core_feature::VERSION_1
+            | core_feature::RING_PACKED
+            | net::feature::MAC
+            | net::feature::CTRL_VQ
+            | net::feature::MQ
+    }
+
+    fn loopback(pairs: u16, queues: usize) -> Loopback {
+        Loopback {
+            common: CommonCfg::new(want(), &vec![256; queues]),
+            netcfg: VirtioNetConfig::with_queue_pairs(pairs),
+        }
+    }
+
+    #[test]
+    fn probe_programs_all_pairs_and_packed_ctrl() {
+        let mut mem = HostMemory::testbed_default();
+        let drv = VirtioNetMqPackedDriver::init(&mut mem, 256, 4, want());
+        let mut t = loopback(4, 9);
+        let out = probe_mq_packed(&mut t, &drv, want()).unwrap();
+        assert_eq!(out.max_pairs, 4);
+        assert!(out.features & core_feature::RING_PACKED != 0);
+        assert!(out.features & net::feature::MQ != 0);
+        for qi in 0..9u16 {
+            t.common_write(common::QUEUE_SELECT, 2, qi as u64);
+            assert_eq!(t.common_read(common::QUEUE_ENABLE, 2), 1, "queue {qi}");
+            assert_eq!(
+                t.common_read(common::QUEUE_MSIX_VECTOR, 2),
+                qi as u64,
+                "vector of queue {qi}"
+            );
+            // Packed queues program only the descriptor area.
+            assert_eq!(t.common_read(common::QUEUE_DRIVER_LO, 4), 0);
+            assert_eq!(t.common_read(common::QUEUE_DEVICE_LO, 4), 0);
+        }
+        t.common_write(common::QUEUE_SELECT, 2, 8);
+        assert_eq!(
+            t.common_read(common::QUEUE_DESC_LO, 4)
+                | (t.common_read(common::QUEUE_DESC_HI, 4) << 32),
+            drv.ctrl_ring()
+        );
+    }
+
+    #[test]
+    fn probe_fails_without_packed_offer() {
+        let mut mem = HostMemory::testbed_default();
+        let drv = VirtioNetMqPackedDriver::init(&mut mem, 64, 2, want());
+        let split_only =
+            core_feature::VERSION_1 | net::feature::MAC | net::feature::CTRL_VQ | net::feature::MQ;
+        let mut t = Loopback {
+            common: CommonCfg::new(split_only, &[256; 5]),
+            netcfg: VirtioNetConfig::with_queue_pairs(2),
+        };
+        assert_eq!(
+            probe_mq_packed(&mut t, &drv, want()).unwrap_err(),
+            ProbeError::FeaturesRejected
+        );
+        let st = t.common.read(common::DEVICE_STATUS, 1) as u8;
+        assert!(st & status::FAILED != 0);
+    }
+
+    #[test]
+    fn ctrl_commands_round_trip_through_the_packed_ring() {
+        let mut mem = HostMemory::testbed_default();
+        let mut drv = VirtioNetMqPackedDriver::init(&mut mem, 64, 2, want());
+        assert!(drv.set_queue_pairs(&mut mem, 2));
+        let mut dev = PackedDeviceQueue::new(drv.ctrl_ring(), CTRL_QUEUE_SIZE);
+        let chain = dev.try_take(&mem).unwrap();
+        assert_eq!(chain.bufs.len(), 2);
+        let (cmd_addr, cmd_len, cmd_writable) = chain.bufs[0];
+        assert!(!cmd_writable);
+        let cmd = GuestMemory::read_vec(&mem, cmd_addr, cmd_len as usize);
+        assert_eq!(
+            &cmd[..2],
+            &[net::ctrl::CLASS_MQ, net::ctrl::MQ_VQ_PAIRS_SET]
+        );
+        assert_eq!(u16::from_le_bytes([cmd[2], cmd[3]]), 2);
+        let (ack_addr, _, ack_writable) = chain.bufs[1];
+        assert!(ack_writable);
+        GuestMemory::write(&mut mem, ack_addr, &[net::ctrl::OK]);
+        dev.complete(&mut mem, &chain, 1);
+        assert_eq!(drv.ctrl_ack(&mut mem), Some(net::ctrl::OK));
+        assert_eq!(drv.ctrl_ack(&mut mem), None);
+
+        // An RSS command rides the same ring.
+        let table: Vec<u16> = (0..net::RSS_TABLE_LEN as u16).map(|i| i % 2).collect();
+        assert!(drv.set_rss(&mut mem, &table, &net::RSS_DEFAULT_KEY));
+        let chain = dev.try_take(&mem).unwrap();
+        let (cmd_addr, cmd_len, _) = chain.bufs[0];
+        let cmd = GuestMemory::read_vec(&mem, cmd_addr, cmd_len as usize);
+        assert_eq!(&cmd[..2], &[net::ctrl::CLASS_MQ, net::ctrl::MQ_RSS_CONFIG]);
+        assert_eq!(
+            u16::from_le_bytes([cmd[2], cmd[3]]) as usize,
+            net::RSS_TABLE_LEN
+        );
+        let (ack_addr, _, _) = chain.bufs[1];
+        GuestMemory::write(&mut mem, ack_addr, &[net::ctrl::OK]);
+        dev.complete(&mut mem, &chain, 1);
+        assert_eq!(drv.ctrl_ack(&mut mem), Some(net::ctrl::OK));
+    }
+
+    #[test]
+    fn pairs_are_independent_packed_drivers() {
+        let mut mem = HostMemory::testbed_default();
+        let drv = VirtioNetMqPackedDriver::init(&mut mem, 128, 3, want());
+        assert_eq!(drv.num_pairs(), 3);
+        let mut rings: Vec<u64> = drv.pairs.iter().map(|p| p.tx_ring()).collect();
+        rings.extend(drv.pairs.iter().map(|p| p.rx_ring()));
+        rings.push(drv.ctrl_ring());
+        rings.sort_unstable();
+        rings.dedup();
+        assert_eq!(rings.len(), 7, "every packed ring lives at its own address");
+    }
+}

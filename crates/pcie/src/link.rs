@@ -80,6 +80,21 @@ pub struct LinkConfig {
     pub posted_window: usize,
     /// Time for one posted TLP's credit to return (UpdateFC DLLP cadence).
     pub credit_return: Time,
+    /// Concurrent non-posted reads a single DMA tag context may keep in
+    /// flight across [`PcieLink::dma_read_np`] calls (E20). `1` keeps
+    /// the strict one-read-at-a-time FIFO behaviour of the serial
+    /// walker; real DMA engines hide the ~1.55 µs RC read latency by
+    /// allocating several tags per channel.
+    pub max_outstanding_np: usize,
+    /// Allow out-of-order completion of non-posted reads within one tag
+    /// context (PCIe relaxed ordering, TLP attr RO). When off, a read's
+    /// completion is held back until every older read on the tag has
+    /// completed, even if its data arrived earlier.
+    pub relaxed_ordering: bool,
+    /// Bound on relaxed-ordering reordering: a completion may pass at
+    /// most this many older reads on the same tag (completion-buffer
+    /// depth in the DMA engine). Inert unless `relaxed_ordering` is on.
+    pub reorder_window: usize,
     /// Model independent DMA tag contexts (multi-queue controllers):
     /// a TLP issued later in *call* order but earlier in *simulated*
     /// time may backfill an idle wire gap another context's latency
@@ -105,6 +120,9 @@ impl LinkConfig {
             outstanding_reads: 1,
             posted_window: 1,
             credit_return: Time::from_ns(350),
+            max_outstanding_np: 1,
+            relaxed_ordering: false,
+            reorder_window: 4,
             multi_tag: false,
         }
     }
@@ -226,6 +244,21 @@ impl WireDir {
     }
 }
 
+/// Per-DMA-tag non-posted read pipeline (E20): the completion instants
+/// of reads still in flight on this tag, plus the recent completion
+/// history that bounds relaxed-ordering reordering.
+#[derive(Clone, Debug, Default)]
+struct NpContext {
+    /// Completion instants of in-flight reads, issue order.
+    inflight: VecDeque<Time>,
+    /// Completion instants of the most recent reads (issue order),
+    /// kept to enforce the reorder window; bounded by
+    /// [`LinkConfig::reorder_window`].
+    history: VecDeque<Time>,
+    /// Deepest the in-flight window ever got on this tag.
+    peak: usize,
+}
+
 /// Dynamic link state: per-direction serialization occupancy and the
 /// posted-credit pipeline.
 ///
@@ -244,6 +277,10 @@ pub struct PcieLink {
     /// multi-tag engines pace each channel independently while the
     /// shared wire still arbitrates serialization.
     posted_credits: Vec<VecDeque<Time>>,
+    /// Non-posted read pipelines, per DMA tag context (E20): reads
+    /// issued through [`PcieLink::dma_read_np`] stay in flight *across*
+    /// calls, up to [`LinkConfig::max_outstanding_np`] per tag.
+    np_contexts: Vec<NpContext>,
     /// DMA tag context charged by subsequent posted writes.
     active_tag: usize,
     /// Cumulative wire-byte counters, for utilization reporting.
@@ -262,6 +299,7 @@ impl PcieLink {
             down: WireDir::default(),
             up: WireDir::default(),
             posted_credits: vec![VecDeque::new()],
+            np_contexts: vec![NpContext::default()],
             active_tag: 0,
             up_wire_bytes: 0,
             down_wire_bytes: 0,
@@ -404,6 +442,107 @@ impl PcieLink {
             chunk_addr += chunk as u64;
         }
         last_done
+    }
+
+    /// Device reads `len` bytes of host memory through the active DMA
+    /// tag's **persistent** non-posted pipeline (E20). Unlike
+    /// [`PcieLink::dma_read`], whose request window exists only for the
+    /// duration of one call, reads issued here stay in flight *across*
+    /// calls: up to [`LinkConfig::max_outstanding_np`] requests per tag
+    /// may be outstanding, so a walker can issue the descriptor fetch
+    /// for round-trip *k+1* while the payload read of round-trip *k* is
+    /// still waiting on the root complex.
+    ///
+    /// Completion ordering is governed by
+    /// [`LinkConfig::relaxed_ordering`]: when off, a read's completion
+    /// is held until every older read on the tag has completed (strict
+    /// producer order); when on, a completion may pass at most
+    /// [`LinkConfig::reorder_window`] older reads. With
+    /// `max_outstanding_np == 1` every request waits for its
+    /// predecessor, which is bit-identical to chaining
+    /// [`PcieLink::dma_read`] calls (the FIFO path the determinism
+    /// goldens pin).
+    pub fn dma_read_np(&mut self, now: Time, addr: u64, len: usize) -> Time {
+        if len == 0 {
+            return now;
+        }
+        let window = self.cfg.max_outstanding_np.max(1);
+        let relaxed = self.cfg.relaxed_ordering;
+        let reorder = self.cfg.reorder_window.max(1);
+        let tag = if self.cfg.multi_tag {
+            self.active_tag
+        } else {
+            0
+        };
+        if self.np_contexts.len() <= tag {
+            self.np_contexts.resize_with(tag + 1, NpContext::default);
+        }
+        let mut chunk_addr = addr;
+        let mut last_done = now;
+        for chunk in split_aligned(addr, len, self.cfg.read_req) {
+            // Tag availability: retire reads whose completions have
+            // landed by our earliest possible issue instant. Under
+            // relaxed ordering a later-issued read may retire first, so
+            // retirement scans the whole window, not just the oldest.
+            let mut earliest = now;
+            {
+                let ctx = &mut self.np_contexts[tag];
+                ctx.inflight.retain(|&d| d > earliest);
+                if ctx.inflight.len() >= window {
+                    let (idx, min) = ctx
+                        .inflight
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &d)| d)
+                        .map(|(i, &d)| (i, d))
+                        .expect("window full implies non-empty");
+                    earliest = min;
+                    ctx.inflight.remove(idx);
+                }
+            }
+            let req_sent = self.put_tlp(earliest, Direction::Upstream, TlpKind::MemRead, 0);
+            let at_rc = req_sent + self.cfg.propagation;
+            let data_ready = at_rc + self.cfg.rc_read_latency;
+            let mut done = data_ready;
+            for cpl in split_aligned(chunk_addr, chunk, self.cfg.mps) {
+                done = self.put_tlp(done, Direction::Downstream, TlpKind::CplD, cpl);
+            }
+            done += self.cfg.propagation;
+            let ctx = &mut self.np_contexts[tag];
+            if relaxed {
+                // Bounded reordering: this completion may pass at most
+                // `reorder_window` older reads on the tag.
+                if ctx.history.len() >= reorder {
+                    done = done.max(ctx.history[ctx.history.len() - reorder]);
+                }
+            } else if let Some(&last) = ctx.history.back() {
+                // Strict ordering: completions leave the tag in issue
+                // order even when the data raced ahead.
+                done = done.max(last);
+            }
+            ctx.history.push_back(done);
+            while ctx.history.len() > reorder {
+                ctx.history.pop_front();
+            }
+            ctx.inflight.push_back(done);
+            ctx.peak = ctx.peak.max(ctx.inflight.len());
+            last_done = done;
+            chunk_addr += chunk as u64;
+        }
+        last_done
+    }
+
+    /// Reads currently tracked in flight on `tag`'s non-posted pipeline
+    /// (retirement is lazy, so completed-but-unretired reads count
+    /// until the next issue on that tag).
+    pub fn np_in_flight(&self, tag: usize) -> usize {
+        self.np_contexts.get(tag).map_or(0, |c| c.inflight.len())
+    }
+
+    /// Deepest any tag's non-posted window ever got — the observable
+    /// the E20 sweep reports next to its configured depth.
+    pub fn np_peak_in_flight(&self) -> usize {
+        self.np_contexts.iter().map(|c| c.peak).max().unwrap_or(0)
     }
 
     /// Device writes `len` bytes into host memory at `addr` (payload
@@ -614,6 +753,101 @@ mod tests {
         assert_eq!(link.down_wire_bytes, 24);
         assert_eq!(link.up_wire_bytes, 148);
         assert_eq!(link.tlp_counts[0], 2); // two writes
+    }
+
+    #[test]
+    fn np_depth_one_matches_chained_dma_read() {
+        // With max_outstanding_np = 1, eagerly issuing every read at t=0
+        // through the persistent pipeline must produce bit-identical
+        // completions to manually chaining dma_read calls: the window
+        // gate *is* the chain.
+        let mut serial = idle();
+        let mut t = Time::ZERO;
+        let mut chained = Vec::new();
+        for i in 0..4 {
+            t = serial.dma_read(t, i * 0x1000, 128);
+            chained.push(t);
+        }
+        let mut np = idle();
+        let piped: Vec<Time> = (0..4)
+            .map(|i| np.dma_read_np(Time::ZERO, i * 0x1000, 128))
+            .collect();
+        assert_eq!(piped, chained);
+        assert_eq!(np.np_peak_in_flight(), 1);
+    }
+
+    #[test]
+    fn np_deeper_window_overlaps_reads() {
+        let mut cfg = LinkConfig::gen2_x2();
+        cfg.max_outstanding_np = 4;
+        cfg.relaxed_ordering = true;
+        let mut deep = PcieLink::new(cfg);
+        let deep_done = (0..4)
+            .map(|i| deep.dma_read_np(Time::ZERO, i * 0x1000, 128))
+            .last()
+            .unwrap();
+        let mut shallow = idle();
+        let shallow_done = (0..4)
+            .map(|i| shallow.dma_read_np(Time::ZERO, i * 0x1000, 128))
+            .last()
+            .unwrap();
+        // Four overlapped round-trips hide most of the 1550 ns RC
+        // latency; serial pays it four times.
+        assert!(
+            deep_done < shallow_done,
+            "overlapped ({deep_done}) must beat serial ({shallow_done})"
+        );
+        assert_eq!(deep.np_peak_in_flight(), 4);
+    }
+
+    #[test]
+    fn np_window_never_exceeds_configured_depth() {
+        let mut cfg = LinkConfig::gen2_x2();
+        cfg.max_outstanding_np = 3;
+        cfg.relaxed_ordering = true;
+        let mut link = PcieLink::new(cfg);
+        for i in 0..32 {
+            link.dma_read_np(Time::ZERO, i * 0x40, 64);
+            assert!(link.np_in_flight(0) <= 3);
+        }
+        assert!(link.np_peak_in_flight() <= 3);
+    }
+
+    #[test]
+    fn np_strict_ordering_never_faster_than_relaxed() {
+        let mut strict_cfg = LinkConfig::gen2_x2();
+        strict_cfg.max_outstanding_np = 8;
+        let mut relaxed_cfg = strict_cfg.clone();
+        relaxed_cfg.relaxed_ordering = true;
+        relaxed_cfg.reorder_window = 8;
+        let mut strict = PcieLink::new(strict_cfg);
+        let mut relaxed = PcieLink::new(relaxed_cfg);
+        // Mixed sizes so completion serialization differs per read.
+        for (i, len) in [128usize, 16, 128, 16, 128, 16].into_iter().enumerate() {
+            let s = strict.dma_read_np(Time::ZERO, i as u64 * 0x1000, len);
+            let r = relaxed.dma_read_np(Time::ZERO, i as u64 * 0x1000, len);
+            assert!(r <= s, "read {i}: relaxed {r} vs strict {s}");
+        }
+    }
+
+    #[test]
+    fn np_tags_have_independent_windows() {
+        let mut cfg = LinkConfig::gen2_x2();
+        cfg.multi_tag = true;
+        cfg.max_outstanding_np = 1;
+        let mut link = PcieLink::new(cfg);
+        link.select_dma_context(0);
+        let first = link.dma_read_np(Time::ZERO, 0, 128);
+        link.dma_read_np(Time::ZERO, 0x1000, 128);
+        // Tag 1's window is empty: its read is not gated on tag 0's two
+        // in-flight reads, only on shared wire occupancy.
+        link.select_dma_context(1);
+        let other = link.dma_read_np(Time::ZERO, 0x2000, 128);
+        assert!(
+            other < first + Time::from_ns(500),
+            "tag 1 read at {other} must not queue behind tag 0's window (first done {first})"
+        );
+        assert_eq!(link.np_in_flight(1), 1);
     }
 
     #[test]

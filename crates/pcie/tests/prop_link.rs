@@ -137,6 +137,86 @@ proptest! {
     }
 
     #[test]
+    fn np_depth_one_is_bit_identical_to_chained_dma_read(
+        lens in vec(1usize..=128, 1..24),
+    ) {
+        // The determinism golden (E20): with the default config
+        // (max_outstanding_np = 1, strict ordering), eagerly issuing
+        // aligned single-chunk reads through the persistent non-posted
+        // pipeline is bit-identical to manually chaining dma_read —
+        // same completion instants, same wire bytes, window never
+        // deeper than one.
+        let mut serial = PcieLink::new(LinkConfig::gen2_x2());
+        let mut np = PcieLink::new(LinkConfig::gen2_x2());
+        let mut t = Time::ZERO;
+        for (i, &len) in lens.iter().enumerate() {
+            let addr = i as u64 * 0x1000;
+            t = serial.dma_read(t, addr, len);
+            let eager = np.dma_read_np(Time::ZERO, addr, len);
+            prop_assert_eq!(eager, t, "read {} diverged", i);
+        }
+        prop_assert!(np.np_peak_in_flight() <= 1);
+        prop_assert_eq!(serial.up_wire_bytes, np.up_wire_bytes);
+        prop_assert_eq!(serial.down_wire_bytes, np.down_wire_bytes);
+        prop_assert_eq!(serial.tlp_counts, np.tlp_counts);
+    }
+
+    #[test]
+    fn np_in_flight_never_exceeds_configured_depth(
+        depth in 1usize..=8,
+        reorder in 1usize..=8,
+        lens in vec(1usize..=128, 1..48),
+    ) {
+        let mut cfg = LinkConfig::gen2_x2();
+        cfg.max_outstanding_np = depth;
+        cfg.relaxed_ordering = true;
+        cfg.reorder_window = reorder;
+        let mut link = PcieLink::new(cfg);
+        for (i, &len) in lens.iter().enumerate() {
+            link.dma_read_np(Time::ZERO, i as u64 * 0x1000, len);
+            prop_assert!(link.np_in_flight(0) <= depth);
+        }
+        prop_assert!(link.np_peak_in_flight() <= depth);
+    }
+
+    #[test]
+    fn posted_order_and_bounded_read_reorder_under_ooo(
+        depth in 2usize..=8,
+        reorder in 1usize..=8,
+        ops in vec((any::<bool>(), 1usize..=128), 2..40),
+    ) {
+        // Relaxed ordering licenses *non-posted completions* to pass
+        // each other (by at most reorder_window); posted writes on the
+        // tag must still land in issue order.
+        let mut cfg = LinkConfig::gen2_x2();
+        cfg.max_outstanding_np = depth;
+        cfg.relaxed_ordering = true;
+        cfg.reorder_window = reorder;
+        let mut link = PcieLink::new(cfg);
+        let mut writes = Vec::new();
+        let mut reads = Vec::new();
+        for (i, &(is_write, len)) in ops.iter().enumerate() {
+            let addr = i as u64 * 0x1000;
+            if is_write {
+                writes.push(link.dma_write(Time::ZERO, addr, len));
+            } else {
+                reads.push(link.dma_read_np(Time::ZERO, addr, len));
+            }
+        }
+        for (i, w) in writes.windows(2).enumerate() {
+            prop_assert!(w[1] >= w[0], "posted writes {} and {} reordered", i, i + 1);
+        }
+        // A read completion may pass at most `reorder` older reads:
+        // completion i can never land before completion i - reorder.
+        for i in reorder..reads.len() {
+            prop_assert!(
+                reads[i] >= reads[i - reorder],
+                "read {} outran the reorder window", i
+            );
+        }
+    }
+
+    #[test]
     fn wire_accounting_balances(ops in vec((0usize..3, 1usize..2048), 1..40)) {
         let mut link = PcieLink::new(LinkConfig::gen2_x2());
         let mut now = Time::ZERO;

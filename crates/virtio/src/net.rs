@@ -31,6 +31,9 @@ pub mod feature {
     pub const CTRL_VQ: u64 = 1 << 17;
     /// Device supports multiple RX/TX queue pairs (VirtIO 1.2 §5.1.6.5.5).
     pub const MQ: u64 = 1 << 22;
+    /// Device steers RX flows through a Toeplitz-hashed indirection
+    /// table (VirtIO 1.2 §5.1.6.5.7, `VIRTIO_NET_F_RSS`).
+    pub const RSS: u64 = 1 << 60;
 }
 
 /// Control-virtqueue command encoding (VirtIO 1.2 §5.1.6.5). A command
@@ -41,10 +44,56 @@ pub mod ctrl {
     pub const CLASS_MQ: u8 = 4;
     /// `CLASS_MQ` command: set the number of active queue pairs.
     pub const MQ_VQ_PAIRS_SET: u8 = 0;
+    /// `CLASS_MQ` command: program the RSS indirection table + hash key
+    /// (`VIRTIO_NET_F_RSS`). Command data (after the 2-byte header):
+    /// `le16 table_len`, `table_len × le16` pair entries, `u8 key_len`,
+    /// `key_len` key bytes.
+    pub const MQ_RSS_CONFIG: u8 = 1;
     /// Ack byte: command accepted.
     pub const OK: u8 = 0;
     /// Ack byte: command rejected.
     pub const ERR: u8 = 1;
+}
+
+/// RSS indirection-table length the device supports (power of two; the
+/// hash is masked with `RSS_TABLE_LEN - 1`).
+pub const RSS_TABLE_LEN: usize = 128;
+
+/// Toeplitz hash-key length (the 40-byte key of the Microsoft RSS
+/// specification, sized for TCP/IPv6 tuples).
+pub const RSS_KEY_LEN: usize = 40;
+
+/// The de-facto standard Toeplitz key (Microsoft RSS verification
+/// suite). Using the well-known key keeps the implementation checkable
+/// against published test vectors.
+pub const RSS_DEFAULT_KEY: [u8; RSS_KEY_LEN] = [
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+];
+
+/// Toeplitz hash (RSS): for each set bit of `data`, XOR in the 32-bit
+/// window of `key` starting at that bit position. This is the matrix
+/// formulation hardware implements as one XOR tree per input bit.
+pub fn toeplitz_hash(key: &[u8], data: &[u8]) -> u32 {
+    assert!(key.len() >= 4, "Toeplitz key shorter than the hash window");
+    let mut hash = 0u32;
+    let mut window = u32::from_be_bytes([key[0], key[1], key[2], key[3]]);
+    for (i, &byte) in data.iter().enumerate() {
+        for bit in 0..8 {
+            if byte & (0x80 >> bit) != 0 {
+                hash ^= window;
+            }
+            let next_bit = 32 + i * 8 + bit;
+            let next = if next_bit / 8 < key.len() {
+                (key[next_bit / 8] >> (7 - next_bit % 8)) & 1
+            } else {
+                0
+            };
+            window = (window << 1) | next as u32;
+        }
+    }
+    hash
 }
 
 /// Queue index of `receiveqN` for pair `n` (0-based).
@@ -299,6 +348,33 @@ mod tests {
         assert_eq!(c.read(8, 2), 4);
         // Everything else matches the single-queue default.
         assert_eq!(b[0..8], VirtioNetConfig::testbed_default().to_bytes()[0..8]);
+    }
+
+    #[test]
+    fn toeplitz_matches_microsoft_vectors() {
+        // RSS verification suite: 66.9.149.187:2794 → 161.142.100.80:1766.
+        let src = [66u8, 9, 149, 187];
+        let dst = [161u8, 142, 100, 80];
+        let mut v4 = Vec::new();
+        v4.extend_from_slice(&src);
+        v4.extend_from_slice(&dst);
+        assert_eq!(toeplitz_hash(&RSS_DEFAULT_KEY, &v4), 0x323e_8fc2);
+        v4.extend_from_slice(&2794u16.to_be_bytes());
+        v4.extend_from_slice(&1766u16.to_be_bytes());
+        assert_eq!(toeplitz_hash(&RSS_DEFAULT_KEY, &v4), 0x51cc_c178);
+    }
+
+    #[test]
+    fn toeplitz_spreads_testbed_flow_ports() {
+        // The testbed's per-flow dst ports (40000 + i) must land in 16
+        // distinct indirection slots so an identity-programmed table can
+        // pin flow i to pair i.
+        let mut slots: Vec<u32> = (0..16u16)
+            .map(|i| toeplitz_hash(&RSS_DEFAULT_KEY, &(40000 + i).to_be_bytes()) & 127)
+            .collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), 16, "hash collision across testbed flows");
     }
 
     #[test]
