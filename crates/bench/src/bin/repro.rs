@@ -20,6 +20,7 @@
 //!   packed                         E17 split vs packed virtqueue layout
 //!   mq                             E19 multi-queue scaling
 //!   ooo                            E20 out-of-order descriptor pipeline
+//!   tenants                        E21 multi-tenant vhost multiplexing + noisy neighbor
 //!   all                            everything above
 //!   trace                          E18 cross-layer span trace + Perfetto export
 //! ```
@@ -108,6 +109,7 @@ fn main() {
             "packed",
             "mq",
             "ooo",
+            "tenants",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -246,6 +248,18 @@ fn main() {
                     );
                 }
             }
+            "tenants" => {
+                for payload in [256usize, 1024] {
+                    println!(
+                        "{}",
+                        render_tenants(payload, &experiments::tenant_scaling(params, payload))
+                    );
+                }
+                println!(
+                    "{}",
+                    render_noisy(256, &experiments::noisy_neighbor(params, 256))
+                );
+            }
             "trace" => {
                 let out = out_path
                     .clone()
@@ -332,6 +346,37 @@ fn run_trace_artifact(out: &PathBuf, packets: usize, seed: u64) {
     tracks.push(("VirtIO-MQ q0", per_queue.remove(0)));
     tracks.push(("VirtIO-MQ q1", per_queue.remove(0)));
 
+    // E21 multi-tenant: one Perfetto track per tenant, vhost backend
+    // on. Same window argument as the MQ export — the serial tenant
+    // world round-robins, so each event falls inside exactly one
+    // tenant-named round trip.
+    let mut tnt_cfg =
+        TestbedConfig::paper(DriverKind::VirtioTenant, 256, packets, seed.wrapping_add(5));
+    tnt_cfg.options.mq_queue_pairs = 2;
+    tnt_cfg.options.tenant_vhost = true;
+    let run = traced_run(&tnt_cfg);
+    let rtts = run.breakdowns();
+    reconcile(&run.result, &rtts)
+        .unwrap_or_else(|e| panic!("VirtIO-TNT trace fails reconciliation: {e}"));
+    println!();
+    println!(
+        "VirtIO-TNT (2 tenants, vhost) — spans reconcile; first {} round trips:",
+        rtts.len().min(5)
+    );
+    print!("{}", vf_trace::render_table(&rtts[..rtts.len().min(5)]));
+    let mut per_tenant: Vec<Vec<vf_trace::TraceEvent>> = vec![Vec::new(), Vec::new()];
+    for ev in &run.events {
+        let idx = rtts.partition_point(|r| r.t1 < ev.t);
+        if let Some(rtt) = rtts.get(idx) {
+            if ev.t >= rtt.t0 {
+                let t = if rtt.name.ends_with("t0") { 0 } else { 1 };
+                per_tenant[t].push(ev.clone());
+            }
+        }
+    }
+    tracks.push(("VirtIO-TNT t0", per_tenant.remove(0)));
+    tracks.push(("VirtIO-TNT t1", per_tenant.remove(0)));
+
     let refs: Vec<(&str, &[vf_trace::TraceEvent])> =
         tracks.iter().map(|(n, e)| (*n, e.as_slice())).collect();
     std::fs::write(out, vf_trace::chrome_trace_json_multi(&refs)).expect("writing trace JSON");
@@ -405,6 +450,6 @@ fn print_usage() {
          artifacts: fig3 fig4 fig5 table1 portability xdma-irq-ablation\n\
          \u{20}          virtio-features bypass devtypes csum-offload noise-sweep\n\
          \u{20}          pipeline deployment card-memory pmd pmd-crossover packed\n\
-         \u{20}          mq ooo trace all"
+         \u{20}          mq ooo tenants trace all"
     );
 }

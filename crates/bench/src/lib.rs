@@ -6,8 +6,9 @@
 #![warn(missing_docs)]
 
 use virtio_fpga::experiments::{
-    BreakdownRow, BypassRow, CsumRow, DeviceTypeRow, Fig3Row, NoiseRow, PackedRow, PmdCrossoverRow,
-    PmdTailsRow, PortabilityRow, Table1Row, VirtioFeatureRow, XdmaIrqRow,
+    BreakdownRow, BypassRow, CsumRow, DeviceTypeRow, Fig3Row, NoiseRow, NoisyRow, PackedRow,
+    PmdCrossoverRow, PmdTailsRow, PortabilityRow, Table1Row, TenantRow, VirtioFeatureRow,
+    XdmaIrqRow,
 };
 use virtio_fpga::{render_breakdown, render_table1, DriverKind};
 
@@ -343,6 +344,49 @@ pub fn render_ooo(payload: usize, rows: &[virtio_fpga::experiments::OooRow]) -> 
     out
 }
 
+/// Render one payload's E21 multi-tenant scaling sweep.
+pub fn render_tenants(payload: usize, rows: &[TenantRow]) -> String {
+    let mut out = format!(
+        "E21 — Multi-tenant vhost multiplexing ({payload} B payload, window {}/tenant)\npolicy          | tenants | aggregate pps | worst p99(us) |  jain | queued | link up/down\n----------------+---------+---------------+---------------+-------+--------+-------------\n",
+        virtio_fpga::experiments::MQ_SWEEP_DEPTH
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<15} | {:>7} | {:>13.0} | {:>13.1} | {:>5.3} | {:>5.1}% | {:>4.0}% / {:>3.0}%\n",
+            r.policy,
+            r.tenants,
+            r.pps,
+            r.worst_p99_us,
+            r.jain,
+            r.queued_frac * 100.0,
+            r.link_util_up * 100.0,
+            r.link_util_down * 100.0
+        ));
+    }
+    out
+}
+
+/// Render the E21 noisy-neighbor isolation experiment.
+pub fn render_noisy(payload: usize, rows: &[NoisyRow]) -> String {
+    let mut out = format!(
+        "E21 — Noisy neighbor ({} tenants, {payload} B payload; tenant 0: top priority, 4x window)\npolicy          | aggregate pps | noisy pps | victim p99(us) | baseline p99 | inflation |  jain\n----------------+---------------+-----------+----------------+--------------+-----------+------\n",
+        virtio_fpga::experiments::NOISY_TENANTS
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<15} | {:>13.0} | {:>9.0} | {:>14.1} | {:>12.1} | {:>8.2}x | {:>5.3}\n",
+            r.policy,
+            r.pps,
+            r.noisy_pps,
+            r.victim_p99_us,
+            r.baseline_p99_us,
+            r.p99_inflation,
+            r.jain
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,6 +477,29 @@ mod tests {
         assert_eq!(s.lines().count(), 3 + 24);
         assert!(s.contains("split") && s.contains("packed"));
         assert!(s.contains("walker") || s.contains("link"));
+    }
+
+    #[test]
+    fn tenants_render_scaling_and_noisy() {
+        let params = ExperimentParams {
+            packets: 600,
+            seed: 41,
+            threads: 8,
+        };
+        let rows = experiments::tenant_scaling(params, 256);
+        let s = render_tenants(256, &rows);
+        assert!(s.contains("E21"));
+        // title + 2 header + 3 policies × 7 tenant counts.
+        assert_eq!(s.lines().count(), 3 + 21);
+        assert!(s.contains("round-robin") && s.contains("weighted-share"));
+        assert!(
+            rows.iter().all(|r| r.jain > 0.0 && r.jain <= 1.0 + 1e-12),
+            "Jain index out of [0, 1]"
+        );
+        let noisy = experiments::noisy_neighbor(params, 256);
+        let n = render_noisy(256, &noisy);
+        assert!(n.contains("E21") && n.contains("inflation"));
+        assert_eq!(n.lines().count(), 3 + 3); // title + 2 header + 3 policies
     }
 
     #[test]

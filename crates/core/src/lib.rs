@@ -25,6 +25,9 @@
 //!   poll-mode driver world (E15/E16);
 //! * [`mq`] — the multi-queue virtio-net scaling worlds (E19): N queue
 //!   pairs, per-queue MSI-X, one simulated host core per pair;
+//! * [`tenant`] — the multi-tenant vhost multiplexing worlds (E21): M
+//!   guest VMs sharing one device through per-tenant vhost workers and
+//!   a pluggable QoS arbiter;
 //! * [`report`] — sample sets, summaries, table rendering;
 //! * [`experiments`] — one function per paper artifact (Fig. 3, Fig. 4,
 //!   Fig. 5, Table I) plus the extension experiments E5–E11.
@@ -38,6 +41,7 @@ pub mod mq;
 pub mod pipeline;
 pub mod pmd;
 pub mod report;
+pub mod tenant;
 pub mod testbed;
 pub mod traced;
 
@@ -47,6 +51,7 @@ pub use mq::{run_mq, MqThroughputResult, MAX_QUEUE_PAIRS};
 pub use pipeline::{run_pipelined, xdma_serial_pps, ThroughputResult};
 pub use pmd::{run_pmd, PmdRun};
 pub use report::{render_breakdown, render_table1, RunResult};
+pub use tenant::{run_tenants, TenantThroughputResult};
 pub use testbed::{DriverKind, RssMode, Testbed, TestbedConfig, TestbedOptions};
 pub use traced::{reconcile, traced_run, TracedRun};
 

@@ -39,8 +39,10 @@ use crate::driver_model::{DriverModel, RoundTripRecorder, RunStats};
 use crate::testbed::{DriverKind, RssMode, TestbedConfig, Transport};
 
 /// Most queue pairs a world will drive. Bounded by the static RTT-name
-/// table (trace roots must be `&'static str`), not by the device model.
-pub const MAX_QUEUE_PAIRS: u16 = 16;
+/// table (trace roots must be `&'static str`), not by the device model;
+/// 64 so the E21 tenant sweep can slice one pair per tenant up to 64
+/// tenants.
+pub const MAX_QUEUE_PAIRS: u16 = 64;
 
 /// Per-queue round-trip trace names, indexed by pair.
 const MQ_RTT_NAMES: [&str; MAX_QUEUE_PAIRS as usize] = [
@@ -60,12 +62,60 @@ const MQ_RTT_NAMES: [&str; MAX_QUEUE_PAIRS as usize] = [
     "rtt_mq_q13",
     "rtt_mq_q14",
     "rtt_mq_q15",
+    "rtt_mq_q16",
+    "rtt_mq_q17",
+    "rtt_mq_q18",
+    "rtt_mq_q19",
+    "rtt_mq_q20",
+    "rtt_mq_q21",
+    "rtt_mq_q22",
+    "rtt_mq_q23",
+    "rtt_mq_q24",
+    "rtt_mq_q25",
+    "rtt_mq_q26",
+    "rtt_mq_q27",
+    "rtt_mq_q28",
+    "rtt_mq_q29",
+    "rtt_mq_q30",
+    "rtt_mq_q31",
+    "rtt_mq_q32",
+    "rtt_mq_q33",
+    "rtt_mq_q34",
+    "rtt_mq_q35",
+    "rtt_mq_q36",
+    "rtt_mq_q37",
+    "rtt_mq_q38",
+    "rtt_mq_q39",
+    "rtt_mq_q40",
+    "rtt_mq_q41",
+    "rtt_mq_q42",
+    "rtt_mq_q43",
+    "rtt_mq_q44",
+    "rtt_mq_q45",
+    "rtt_mq_q46",
+    "rtt_mq_q47",
+    "rtt_mq_q48",
+    "rtt_mq_q49",
+    "rtt_mq_q50",
+    "rtt_mq_q51",
+    "rtt_mq_q52",
+    "rtt_mq_q53",
+    "rtt_mq_q54",
+    "rtt_mq_q55",
+    "rtt_mq_q56",
+    "rtt_mq_q57",
+    "rtt_mq_q58",
+    "rtt_mq_q59",
+    "rtt_mq_q60",
+    "rtt_mq_q61",
+    "rtt_mq_q62",
+    "rtt_mq_q63",
 ];
 
 /// UDP source-port base; flow `i` sends from `FLOW_PORT_BASE + i`. A
 /// multiple of every power-of-two pair count, so the device's
 /// `dst_port % pairs` steering maps flow `i` exactly to pair `i`.
-const FLOW_PORT_BASE: u16 = 40_000;
+pub(crate) const FLOW_PORT_BASE: u16 = 40_000;
 
 /// The front end driving an MQ world: split rings (E19) or packed
 /// rings (E20's MQ×packed fusion). Both expose the same pair-indexed
@@ -76,7 +126,7 @@ pub(crate) enum MqDriver {
 }
 
 impl MqDriver {
-    fn xmit(
+    pub(crate) fn xmit(
         &mut self,
         mem: &mut HostMemory,
         pair: u16,
@@ -89,7 +139,7 @@ impl MqDriver {
         }
     }
 
-    fn napi_poll(
+    pub(crate) fn napi_poll(
         &mut self,
         mem: &mut HostMemory,
         pair: u16,
@@ -122,7 +172,7 @@ impl MqDriver {
         }
     }
 
-    fn csum_offload(&self, pair: u16) -> bool {
+    pub(crate) fn csum_offload(&self, pair: u16) -> bool {
         match self {
             MqDriver::Split(d) => d.pairs[pair as usize].csum_offload(),
             MqDriver::Packed(d) => d.pairs[pair as usize].csum_offload(),
@@ -227,7 +277,10 @@ impl MqParts {
         let info = enumerate(&mut device.config_space, &mut alloc);
         assert_eq!(info.vendor, vf_pcie::VIRTIO_VENDOR_ID);
 
-        let packed = cfg.driver == DriverKind::VirtioMqPacked;
+        // E21's tenant front ends pick their ring layout per option, not
+        // per driver kind; the dedicated MQ kinds keep the fused mapping.
+        let packed = cfg.driver == DriverKind::VirtioMqPacked
+            || (cfg.driver == DriverKind::VirtioTenant && cfg.options.tenant_packed);
         let mut want = feature::VERSION_1;
         if cfg.options.event_idx && !packed {
             // The packed front end runs without EVENT_IDX (every TX
@@ -323,7 +376,7 @@ impl MqParts {
     }
 
     /// Device stats with the bring-up (ctrl-vq) traffic subtracted.
-    fn run_stats(&self) -> RunStats {
+    pub(crate) fn run_stats(&self) -> RunStats {
         RunStats {
             notifications: self.device.stats.notifications - self.base_notifications,
             irqs: self.device.stats.irqs_sent - self.base_irqs,

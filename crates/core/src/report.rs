@@ -147,6 +147,35 @@ pub fn render_breakdown(driver: DriverKind, rows: &[(usize, Summary, Summary)]) 
     out
 }
 
+/// Jain's fairness index over per-group allocations:
+/// `(Σxᵢ)² / (n · Σxᵢ²)`. Ranges from `1/n` (one group hogs
+/// everything) to `1.0` (perfectly even split). Degenerate inputs —
+/// no groups, or every allocation zero — report `1.0`: nothing is
+/// being shared, so nothing is being shared unfairly.
+pub fn jain_fairness(allocations: &[f64]) -> f64 {
+    let n = allocations.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sum_sq: f64 = allocations.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        1.0
+    } else {
+        (sum * sum) / (n as f64 * sum_sq)
+    }
+}
+
+/// Percentile `p` (nearest-rank, 0–100) of each group's sample set.
+/// Empty groups report `0.0` — a tenant that never completed a round
+/// trip has no latency to rank (the caller decides what zero means).
+pub fn per_group_percentile(groups: &mut [SampleSet], p: f64) -> Vec<f64> {
+    groups
+        .iter_mut()
+        .map(|g| if g.is_empty() { 0.0 } else { g.percentile(p) })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +245,39 @@ mod tests {
         let r = result();
         let h = r.histogram(0.0, 100.0, 20);
         assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn jain_index_exact_values() {
+        // Perfectly even split.
+        assert_eq!(jain_fairness(&[1.0, 1.0, 1.0, 1.0]), 1.0);
+        // One of four hogs everything: 1/n.
+        assert_eq!(jain_fairness(&[5.0, 0.0, 0.0, 0.0]), 0.25);
+        // (2+4)² / (2·(4+16)) = 36/40 = 0.9 exactly.
+        assert_eq!(jain_fairness(&[2.0, 4.0]), 0.9);
+        // Scale-invariant.
+        assert_eq!(jain_fairness(&[200.0, 400.0]), 0.9);
+        // Degenerate inputs.
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn per_group_percentile_exact_values() {
+        let mut groups = vec![
+            sample_set(&[10.0, 20.0, 30.0, 40.0]),
+            sample_set(&[5.0]),
+            SampleSet::with_capacity(0),
+        ];
+        // Nearest-rank p50 of {10,20,30,40} is the 2nd sample = 20.
+        assert_eq!(
+            per_group_percentile(&mut groups, 50.0),
+            vec![20.0, 5.0, 0.0]
+        );
+        assert_eq!(
+            per_group_percentile(&mut groups, 99.0),
+            vec![40.0, 5.0, 0.0]
+        );
     }
 
     #[test]

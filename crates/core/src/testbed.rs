@@ -33,6 +33,8 @@ use vf_virtio::net::VirtioNetConfig;
 use vf_virtio::{feature, net, DeviceType};
 use vf_xdma::ChannelDir;
 
+use vf_tenant::{ArbiterPolicy, TenantConfig};
+
 use crate::calibration::Calibration;
 use crate::driver_model::{run_world, DriverModel, RoundTripRecorder, RunStats};
 use crate::report::RunResult;
@@ -64,6 +66,15 @@ pub enum DriverKind {
     /// packed control virtqueue, packed walkers per pair on the
     /// device side.
     VirtioMqPacked,
+    /// Multi-tenant vhost multiplexing (E21): M simulated guest VMs,
+    /// each owning one queue-pair slice of the device (its own MSI-X
+    /// vector and DMA tag context), multiplexed onto the shared
+    /// descriptor-walker engine by a QoS arbiter
+    /// ([`TestbedOptions::tenant_policy`]) and optionally relayed
+    /// through per-tenant vhost worker threads
+    /// ([`TestbedOptions::tenant_vhost`]). Tenant count rides
+    /// [`TestbedOptions::mq_queue_pairs`].
+    VirtioTenant,
 }
 
 impl DriverKind {
@@ -76,6 +87,7 @@ impl DriverKind {
             DriverKind::VirtioPacked => "VirtIO-packed",
             DriverKind::VirtioMq => "VirtIO-MQ",
             DriverKind::VirtioMqPacked => "VirtIO-MQ-packed",
+            DriverKind::VirtioTenant => "VirtIO-TNT",
         }
     }
 }
@@ -127,6 +139,22 @@ pub struct TestbedOptions {
     pub pipeline_depth: usize,
     /// RSS steering mode of the MQ controller (see [`RssMode`]).
     pub rss: RssMode,
+    /// E21 (`DriverKind::VirtioTenant` only): fairness policy of the
+    /// QoS arbiter multiplexing tenant doorbells onto the device's
+    /// shared walker engine.
+    pub tenant_policy: ArbiterPolicy,
+    /// E21: route every tenant's doorbells and completions through its
+    /// own vhost worker thread (guest-VM deployment). Off (default),
+    /// tenants ring the device directly — which is what makes the
+    /// 1-tenant run reproduce the E19 single-pair numbers.
+    pub tenant_vhost: bool,
+    /// E21: bring the tenant front ends up on packed rings instead of
+    /// split rings.
+    pub tenant_packed: bool,
+    /// E21: per-tenant scheduling/workload overrides. Empty (default)
+    /// means uniform [`TenantConfig::default`] tenants; otherwise the
+    /// length must equal [`TestbedOptions::mq_queue_pairs`].
+    pub tenant_configs: Vec<TenantConfig>,
 }
 
 /// How the MQ device steers echoed flows back to queue pairs.
@@ -158,6 +186,10 @@ impl Default for TestbedOptions {
             mq_queue_pairs: 1,
             pipeline_depth: 1,
             rss: RssMode::Toeplitz,
+            tenant_policy: ArbiterPolicy::RoundRobin,
+            tenant_vhost: false,
+            tenant_packed: false,
+            tenant_configs: Vec::new(),
         }
     }
 }
@@ -1234,6 +1266,7 @@ impl Testbed {
             DriverKind::VirtioMq | DriverKind::VirtioMqPacked => {
                 run_world::<crate::mq::MqWorld>(&self.cfg).0
             }
+            DriverKind::VirtioTenant => run_world::<crate::tenant::TenantWorld>(&self.cfg).0,
             DriverKind::Xdma => run_world::<XdmaWorld>(&self.cfg).0,
         }
     }

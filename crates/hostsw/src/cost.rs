@@ -311,6 +311,52 @@ impl CostEngine {
         d
     }
 
+    /// Guest half of the vhost transmit path: the guest's syscall + UDP
+    /// stack + virtio-net xmit + the vmexit of the kick. Runs on the
+    /// guest's vCPU; the worker half ([`Self::vhost_worker_tx`]) runs on
+    /// the vhost thread's core. Drawn in sequence from one engine the
+    /// two halves reproduce [`Self::vhost_tx_overlay`] bit for bit.
+    pub fn vhost_guest_tx(&mut self) -> Time {
+        let d = self.step(self.costs.syscall_entry)
+            + self.step(self.costs.udp_tx_path)
+            + self.step(self.costs.virtio_xmit)
+            + self.step(self.costs.vmexit_kick);
+        vf_trace::advance(vf_trace::Layer::Syscall, "vhost_guest_tx", d, 0);
+        d
+    }
+
+    /// Worker half of the vhost transmit path: the vhost thread's wakeup
+    /// on the guest's kick eventfd plus the guest→host copy of `bytes`.
+    pub fn vhost_worker_tx(&mut self, bytes: usize) -> Time {
+        let d = self.step(self.costs.wakeup_to_run) + self.copy_user(bytes);
+        vf_trace::advance(vf_trace::Layer::Driver, "vhost_worker_tx", d, bytes as u64);
+        d
+    }
+
+    /// Worker half of the vhost receive path: the host→guest copy of
+    /// `bytes` plus the interrupt injection into the guest.
+    pub fn vhost_worker_rx(&mut self, bytes: usize) -> Time {
+        let d = self.copy_user(bytes) + self.step(self.costs.irq_inject);
+        vf_trace::advance(vf_trace::Layer::Driver, "vhost_worker_rx", d, bytes as u64);
+        d
+    }
+
+    /// Guest half of the vhost receive path: the injected interrupt's
+    /// hardirq/softirq/NAPI chain, guest UDP receive, app wakeup, and
+    /// syscall exit. Worker half first ([`Self::vhost_worker_rx`]), then
+    /// this; from one engine the two halves reproduce
+    /// [`Self::vhost_rx_overlay`] bit for bit.
+    pub fn vhost_guest_rx(&mut self) -> Time {
+        let d = self.step(self.costs.hardirq_entry)
+            + self.step(self.costs.softirq_latency)
+            + self.step(self.costs.virtio_napi_rx)
+            + self.step(self.costs.udp_rx_path)
+            + self.step(self.costs.wakeup_to_run)
+            + self.step(self.costs.syscall_exit);
+        vf_trace::advance(vf_trace::Layer::Irq, "vhost_guest_rx", d, 0);
+        d
+    }
+
     /// Borrow the RNG stream (workload payload generation, ip_id, ...).
     pub fn rng(&mut self) -> &mut SimRng {
         &mut self.rng
@@ -500,6 +546,16 @@ mod tests {
             + b.step(c.udp_rx_path)
             + b.step(c.wakeup_to_run)
             + b.step(c.syscall_exit);
+        assert_eq!(path, inline);
+
+        // The split guest/worker halves recompose the monolithic
+        // overlays exactly when drawn in sequence from one engine.
+        let path = a.vhost_guest_tx() + a.vhost_worker_tx(256);
+        let inline = b.vhost_tx_overlay(256);
+        assert_eq!(path, inline);
+
+        let path = a.vhost_worker_rx(256) + a.vhost_guest_rx();
+        let inline = b.vhost_rx_overlay(256);
         assert_eq!(path, inline);
 
         // Same number of RNG draws overall → streams stay in lockstep.

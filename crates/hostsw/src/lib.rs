@@ -17,6 +17,8 @@
 //!   queue pairs plus the control virtqueue (experiment E19);
 //! * [`virtio_mq_packed`] — the MQ×packed fusion: multi-queue over
 //!   packed rings, including a packed control virtqueue (E20);
+//! * [`mq_ctrl`] — the ctrl-vq command serialization and MQ probe
+//!   choreography shared by every multi-queue front end;
 //! * [`multicore`] — per-CPU cost/scheduler contexts so each queue
 //!   pair's NAPI work runs on its own simulated core;
 //! * [`xdma_char`] — the vendor reference character-device driver
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod mq_ctrl;
 pub mod multicore;
 pub mod netcfg;
 pub mod packet;
@@ -57,6 +60,7 @@ pub mod virtio_packed;
 pub mod xdma_char;
 
 pub use cost::{CostEngine, HostCosts, HOST_CPU_GHZ};
+pub use mq_ctrl::{probe_mq_common, QueueProg};
 pub use multicore::{CpuContext, MultiCoreHost};
 pub use netcfg::{ArpCache, Route, RoutingTable};
 pub use packet::{

@@ -15,29 +15,14 @@
 use vf_pcie::HostMemory;
 use vf_sim::Time;
 use vf_virtio::driver_queue::{BufferSpec, DriverQueue};
-use vf_virtio::pci::common;
 use vf_virtio::ring::VirtqueueLayout;
-use vf_virtio::{feature as core_feature, net, status, GuestMemory};
+use vf_virtio::{feature as core_feature, net};
 
 use crate::cost::CostEngine;
+use crate::mq_ctrl::{self, QueueProg};
 use crate::virtio_net::{ProbeError, RxFrame, VirtioNetDriver, VirtioTransport, XmitResult};
 
-/// Ring size of the control virtqueue — commands are rare and serial,
-/// so it stays small regardless of the data-queue depth.
-pub const CTRL_QUEUE_SIZE: u16 = 64;
-
-/// Result of the MQ probe sequence.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct MqProbeOutcome {
-    /// Negotiated feature bits.
-    pub features: u64,
-    /// Station MAC from device config.
-    pub mac: [u8; 6],
-    /// Device MTU from device config.
-    pub mtu: u16,
-    /// `max_virtqueue_pairs` from device config.
-    pub max_pairs: u16,
-}
+pub use crate::mq_ctrl::{MqProbeOutcome, CTRL_QUEUE_SIZE};
 
 /// The multi-queue driver: N data-queue pairs plus the control queue.
 #[derive(Clone, Debug)]
@@ -53,10 +38,7 @@ pub struct VirtioNetMqDriver {
     ctrl_ack_buf: u64,
 }
 
-/// Bytes a serialized `MQ_RSS_CONFIG` command can occupy at most:
-/// class + cmd + le16 table length, the 128-entry le16 indirection
-/// table, a key-length byte, and the 40-byte Toeplitz key.
-pub(crate) const RSS_CMD_MAX: usize = 4 + 2 * net::RSS_TABLE_LEN + 1 + net::RSS_KEY_LEN;
+pub(crate) use crate::mq_ctrl::RSS_CMD_MAX;
 
 impl VirtioNetMqDriver {
     /// Allocate `pairs` queue pairs of `queue_size` descriptors each,
@@ -130,14 +112,7 @@ impl VirtioNetMqDriver {
     /// control queue. Returns whether the ctrl queue's doorbell must
     /// ring (it always does for the first command).
     pub fn set_queue_pairs(&mut self, mem: &mut HostMemory, pairs: u16) -> bool {
-        GuestMemory::write(
-            mem,
-            self.ctrl_cmd_buf,
-            &[net::ctrl::CLASS_MQ, net::ctrl::MQ_VQ_PAIRS_SET],
-        );
-        GuestMemory::write(mem, self.ctrl_cmd_buf + 2, &pairs.to_le_bytes());
-        // Poison the ack so a device that never writes it is caught.
-        GuestMemory::write(mem, self.ctrl_ack_buf, &[0xAA]);
+        mq_ctrl::write_pairs_cmd(mem, self.ctrl_cmd_buf, self.ctrl_ack_buf, pairs);
         let old = self.ctrl.avail_idx();
         self.ctrl
             .add_and_publish(
@@ -156,23 +131,13 @@ impl VirtioNetMqDriver {
     /// indirection table, power-of-two entries) and the 40-byte
     /// Toeplitz `key`. Returns whether the doorbell must ring.
     pub fn set_rss(&mut self, mem: &mut HostMemory, table: &[u16], key: &[u8]) -> bool {
-        let mut cmd = Vec::with_capacity(RSS_CMD_MAX);
-        cmd.extend_from_slice(&[net::ctrl::CLASS_MQ, net::ctrl::MQ_RSS_CONFIG]);
-        cmd.extend_from_slice(&(table.len() as u16).to_le_bytes());
-        for entry in table {
-            cmd.extend_from_slice(&entry.to_le_bytes());
-        }
-        cmd.push(key.len() as u8);
-        cmd.extend_from_slice(key);
-        assert!(cmd.len() <= RSS_CMD_MAX, "RSS command overflows its buffer");
-        GuestMemory::write(mem, self.ctrl_rss_buf, &cmd);
-        GuestMemory::write(mem, self.ctrl_ack_buf, &[0xAA]);
+        let len = mq_ctrl::write_rss_cmd(mem, self.ctrl_rss_buf, self.ctrl_ack_buf, table, key);
         let old = self.ctrl.avail_idx();
         self.ctrl
             .add_and_publish(
                 mem,
                 &[
-                    BufferSpec::readable(self.ctrl_rss_buf, cmd.len() as u32),
+                    BufferSpec::readable(self.ctrl_rss_buf, len),
                     BufferSpec::writable(self.ctrl_ack_buf, 1),
                 ],
             )
@@ -197,115 +162,38 @@ pub fn probe_mq<T: VirtioTransport>(
     driver: &VirtioNetMqDriver,
     want_features: u64,
 ) -> Result<MqProbeOutcome, ProbeError> {
-    use common as c;
-    transport.common_write(c::DEVICE_STATUS, 1, 0);
-    transport.common_write(c::DEVICE_STATUS, 1, status::ACKNOWLEDGE as u64);
-    transport.common_write(
-        c::DEVICE_STATUS,
-        1,
-        (status::ACKNOWLEDGE | status::DRIVER) as u64,
-    );
-
-    transport.common_write(c::DEVICE_FEATURE_SELECT, 4, 0);
-    let lo = transport.common_read(c::DEVICE_FEATURE, 4);
-    transport.common_write(c::DEVICE_FEATURE_SELECT, 4, 1);
-    let hi = transport.common_read(c::DEVICE_FEATURE, 4);
-    let offered = lo | (hi << 32);
-    let accept = (offered & want_features) | core_feature::VERSION_1;
-
-    transport.common_write(c::DRIVER_FEATURE_SELECT, 4, 0);
-    transport.common_write(c::DRIVER_FEATURE, 4, accept & 0xFFFF_FFFF);
-    transport.common_write(c::DRIVER_FEATURE_SELECT, 4, 1);
-    transport.common_write(c::DRIVER_FEATURE, 4, accept >> 32);
-    transport.common_write(
-        c::DEVICE_STATUS,
-        1,
-        (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK) as u64,
-    );
-    if transport.common_read(c::DEVICE_STATUS, 1) as u8 & status::FEATURES_OK == 0 {
-        transport.common_write(
-            c::DEVICE_STATUS,
-            1,
-            (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::FAILED) as u64,
-        );
-        return Err(ProbeError::FeaturesRejected);
-    }
-    // Driving N pairs without MQ negotiated would be a spec violation.
-    if driver.num_pairs() > 1 && accept & net::feature::MQ == 0 {
-        transport.common_write(
-            c::DEVICE_STATUS,
-            1,
-            (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::FAILED) as u64,
-        );
-        return Err(ProbeError::FeaturesRejected);
-    }
-
-    let pairs = driver.num_pairs();
-    let need = 2 * pairs + 1;
-    let num_queues = transport.common_read(c::NUM_QUEUES, 2) as u16;
-    if num_queues < need {
-        return Err(ProbeError::NotEnoughQueues {
-            have: num_queues,
-            need,
-        });
-    }
-
-    // `max_virtqueue_pairs` sits at device-config offset 8 and fixes
-    // the ctrl queue's index; readable once FEATURES_OK is set.
-    let max_pairs = transport.device_cfg_read(8, 2) as u16;
-    if max_pairs < pairs {
-        return Err(ProbeError::NotEnoughQueues {
-            have: 2 * max_pairs + 1,
-            need,
-        });
-    }
-
-    let mut programming: Vec<(u16, VirtqueueLayout)> = Vec::new();
-    for (i, pair) in driver.pairs.iter().enumerate() {
-        programming.push((net::rx_queue_of_pair(i as u16), pair.rx_layout()));
-        programming.push((net::tx_queue_of_pair(i as u16), pair.tx_layout()));
-    }
-    programming.push((net::ctrl_queue_index(max_pairs), driver.ctrl_layout()));
-    for (qi, layout) in programming {
-        transport.common_write(c::QUEUE_SELECT, 2, qi as u64);
-        transport.common_write(c::QUEUE_SIZE, 2, layout.size as u64);
-        // Per-queue MSI-X routing: vector = queue index.
-        transport.common_write(c::QUEUE_MSIX_VECTOR, 2, qi as u64);
-        transport.common_write(c::QUEUE_DESC_LO, 4, layout.desc & 0xFFFF_FFFF);
-        transport.common_write(c::QUEUE_DESC_HI, 4, layout.desc >> 32);
-        transport.common_write(c::QUEUE_DRIVER_LO, 4, layout.avail & 0xFFFF_FFFF);
-        transport.common_write(c::QUEUE_DRIVER_HI, 4, layout.avail >> 32);
-        transport.common_write(c::QUEUE_DEVICE_LO, 4, layout.used & 0xFFFF_FFFF);
-        transport.common_write(c::QUEUE_DEVICE_HI, 4, layout.used >> 32);
-        transport.common_write(c::QUEUE_ENABLE, 2, 1);
-    }
-
-    transport.common_write(
-        c::DEVICE_STATUS,
-        1,
-        (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::DRIVER_OK) as u64,
-    );
-
-    let mut mac = [0u8; 6];
-    let mac_lo = transport.device_cfg_read(0, 4);
-    let mac_hi = transport.device_cfg_read(4, 2);
-    mac[..4].copy_from_slice(&(mac_lo as u32).to_le_bytes());
-    mac[4..].copy_from_slice(&(mac_hi as u16).to_le_bytes());
-    let mtu = transport.device_cfg_read(10, 2) as u16;
-
-    Ok(MqProbeOutcome {
-        features: accept,
-        mac,
-        mtu,
-        max_pairs,
-    })
+    mq_ctrl::probe_mq_common(
+        transport,
+        driver.num_pairs(),
+        want_features,
+        false,
+        |max_pairs| {
+            let mut programming = Vec::new();
+            for (i, pair) in driver.pairs.iter().enumerate() {
+                programming.push(QueueProg::split(
+                    net::rx_queue_of_pair(i as u16),
+                    &pair.rx_layout(),
+                ));
+                programming.push(QueueProg::split(
+                    net::tx_queue_of_pair(i as u16),
+                    &pair.tx_layout(),
+                ));
+            }
+            programming.push(QueueProg::split(
+                net::ctrl_queue_index(max_pairs),
+                &driver.ctrl_layout(),
+            ));
+            programming
+        },
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use vf_virtio::net::VirtioNetConfig;
-    use vf_virtio::pci::CommonCfg;
+    use vf_virtio::pci::{common, CommonCfg};
+    use vf_virtio::GuestMemory;
 
     /// A loopback transport over a bare `CommonCfg` register file, like
     /// the single-queue probe tests use.

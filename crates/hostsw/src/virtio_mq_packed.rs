@@ -15,10 +15,10 @@
 use vf_pcie::HostMemory;
 use vf_sim::Time;
 use vf_virtio::packed::{PackedBuffer, PackedDesc, PackedDriverQueue};
-use vf_virtio::pci::common;
-use vf_virtio::{feature as core_feature, net, status, GuestMemory};
+use vf_virtio::{feature as core_feature, net};
 
 use crate::cost::CostEngine;
+use crate::mq_ctrl::{self, QueueProg};
 use crate::virtio_mq::{MqProbeOutcome, CTRL_QUEUE_SIZE, RSS_CMD_MAX};
 use crate::virtio_net::{ProbeError, RxFrame, VirtioTransport, XmitResult};
 use crate::virtio_packed::VirtioPackedDriver;
@@ -109,13 +109,7 @@ impl VirtioNetMqPackedDriver {
     /// control queue. Without `RING_EVENT_IDX` the doorbell always
     /// rings, so this unconditionally returns `true`.
     pub fn set_queue_pairs(&mut self, mem: &mut HostMemory, pairs: u16) -> bool {
-        GuestMemory::write(
-            mem,
-            self.ctrl_cmd_buf,
-            &[net::ctrl::CLASS_MQ, net::ctrl::MQ_VQ_PAIRS_SET],
-        );
-        GuestMemory::write(mem, self.ctrl_cmd_buf + 2, &pairs.to_le_bytes());
-        GuestMemory::write(mem, self.ctrl_ack_buf, &[0xAA]);
+        mq_ctrl::write_pairs_cmd(mem, self.ctrl_cmd_buf, self.ctrl_ack_buf, pairs);
         self.ctrl
             .add(
                 mem,
@@ -139,24 +133,14 @@ impl VirtioNetMqPackedDriver {
     /// Publish a `MQ_RSS_CONFIG` command carrying `table` and the
     /// Toeplitz `key`. Always notifies (no `RING_EVENT_IDX`).
     pub fn set_rss(&mut self, mem: &mut HostMemory, table: &[u16], key: &[u8]) -> bool {
-        let mut cmd = Vec::with_capacity(RSS_CMD_MAX);
-        cmd.extend_from_slice(&[net::ctrl::CLASS_MQ, net::ctrl::MQ_RSS_CONFIG]);
-        cmd.extend_from_slice(&(table.len() as u16).to_le_bytes());
-        for entry in table {
-            cmd.extend_from_slice(&entry.to_le_bytes());
-        }
-        cmd.push(key.len() as u8);
-        cmd.extend_from_slice(key);
-        assert!(cmd.len() <= RSS_CMD_MAX, "RSS command overflows its buffer");
-        GuestMemory::write(mem, self.ctrl_rss_buf, &cmd);
-        GuestMemory::write(mem, self.ctrl_ack_buf, &[0xAA]);
+        let len = mq_ctrl::write_rss_cmd(mem, self.ctrl_rss_buf, self.ctrl_ack_buf, table, key);
         self.ctrl
             .add(
                 mem,
                 &[
                     PackedBuffer {
                         addr: self.ctrl_rss_buf,
-                        len: cmd.len() as u32,
+                        len,
                         writable: false,
                     },
                     PackedBuffer {
@@ -190,124 +174,33 @@ pub fn probe_mq_packed<T: VirtioTransport>(
     driver: &VirtioNetMqPackedDriver,
     want_features: u64,
 ) -> Result<MqProbeOutcome, ProbeError> {
-    use common as c;
-    transport.common_write(c::DEVICE_STATUS, 1, 0);
-    transport.common_write(c::DEVICE_STATUS, 1, status::ACKNOWLEDGE as u64);
-    transport.common_write(
-        c::DEVICE_STATUS,
-        1,
-        (status::ACKNOWLEDGE | status::DRIVER) as u64,
-    );
-
-    transport.common_write(c::DEVICE_FEATURE_SELECT, 4, 0);
-    let lo = transport.common_read(c::DEVICE_FEATURE, 4);
-    transport.common_write(c::DEVICE_FEATURE_SELECT, 4, 1);
-    let hi = transport.common_read(c::DEVICE_FEATURE, 4);
-    let offered = lo | (hi << 32);
-    let accept = (offered & want_features) | core_feature::VERSION_1;
-    if accept & core_feature::RING_PACKED == 0 {
-        transport.common_write(
-            c::DEVICE_STATUS,
-            1,
-            (status::ACKNOWLEDGE | status::DRIVER | status::FAILED) as u64,
-        );
-        return Err(ProbeError::FeaturesRejected);
-    }
-
-    transport.common_write(c::DRIVER_FEATURE_SELECT, 4, 0);
-    transport.common_write(c::DRIVER_FEATURE, 4, accept & 0xFFFF_FFFF);
-    transport.common_write(c::DRIVER_FEATURE_SELECT, 4, 1);
-    transport.common_write(c::DRIVER_FEATURE, 4, accept >> 32);
-    transport.common_write(
-        c::DEVICE_STATUS,
-        1,
-        (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK) as u64,
-    );
-    if transport.common_read(c::DEVICE_STATUS, 1) as u8 & status::FEATURES_OK == 0 {
-        transport.common_write(
-            c::DEVICE_STATUS,
-            1,
-            (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::FAILED) as u64,
-        );
-        return Err(ProbeError::FeaturesRejected);
-    }
-    if driver.num_pairs() > 1 && accept & net::feature::MQ == 0 {
-        transport.common_write(
-            c::DEVICE_STATUS,
-            1,
-            (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::FAILED) as u64,
-        );
-        return Err(ProbeError::FeaturesRejected);
-    }
-
-    let pairs = driver.num_pairs();
-    let need = 2 * pairs + 1;
-    let num_queues = transport.common_read(c::NUM_QUEUES, 2) as u16;
-    if num_queues < need {
-        return Err(ProbeError::NotEnoughQueues {
-            have: num_queues,
-            need,
-        });
-    }
-
-    let max_pairs = transport.device_cfg_read(8, 2) as u16;
-    if max_pairs < pairs {
-        return Err(ProbeError::NotEnoughQueues {
-            have: 2 * max_pairs + 1,
-            need,
-        });
-    }
-
-    let mut programming: Vec<(u16, u64, u16)> = Vec::new();
-    for (i, pair) in driver.pairs.iter().enumerate() {
-        programming.push((
-            net::rx_queue_of_pair(i as u16),
-            pair.rx_ring(),
-            pair.queue_size(),
-        ));
-        programming.push((
-            net::tx_queue_of_pair(i as u16),
-            pair.tx_ring(),
-            pair.queue_size(),
-        ));
-    }
-    programming.push((
-        net::ctrl_queue_index(max_pairs),
-        driver.ctrl_ring(),
-        CTRL_QUEUE_SIZE,
-    ));
-    for (qi, ring, size) in programming {
-        transport.common_write(c::QUEUE_SELECT, 2, qi as u64);
-        transport.common_write(c::QUEUE_SIZE, 2, size as u64);
-        transport.common_write(c::QUEUE_MSIX_VECTOR, 2, qi as u64);
-        transport.common_write(c::QUEUE_DESC_LO, 4, ring & 0xFFFF_FFFF);
-        transport.common_write(c::QUEUE_DESC_HI, 4, ring >> 32);
-        transport.common_write(c::QUEUE_DRIVER_LO, 4, 0);
-        transport.common_write(c::QUEUE_DRIVER_HI, 4, 0);
-        transport.common_write(c::QUEUE_DEVICE_LO, 4, 0);
-        transport.common_write(c::QUEUE_DEVICE_HI, 4, 0);
-        transport.common_write(c::QUEUE_ENABLE, 2, 1);
-    }
-
-    transport.common_write(
-        c::DEVICE_STATUS,
-        1,
-        (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::DRIVER_OK) as u64,
-    );
-
-    let mut mac = [0u8; 6];
-    let mac_lo = transport.device_cfg_read(0, 4);
-    let mac_hi = transport.device_cfg_read(4, 2);
-    mac[..4].copy_from_slice(&(mac_lo as u32).to_le_bytes());
-    mac[4..].copy_from_slice(&(mac_hi as u16).to_le_bytes());
-    let mtu = transport.device_cfg_read(10, 2) as u16;
-
-    Ok(MqProbeOutcome {
-        features: accept,
-        mac,
-        mtu,
-        max_pairs,
-    })
+    mq_ctrl::probe_mq_common(
+        transport,
+        driver.num_pairs(),
+        want_features,
+        true,
+        |max_pairs| {
+            let mut programming = Vec::new();
+            for (i, pair) in driver.pairs.iter().enumerate() {
+                programming.push(QueueProg::packed(
+                    net::rx_queue_of_pair(i as u16),
+                    pair.rx_ring(),
+                    pair.queue_size(),
+                ));
+                programming.push(QueueProg::packed(
+                    net::tx_queue_of_pair(i as u16),
+                    pair.tx_ring(),
+                    pair.queue_size(),
+                ));
+            }
+            programming.push(QueueProg::packed(
+                net::ctrl_queue_index(max_pairs),
+                driver.ctrl_ring(),
+                CTRL_QUEUE_SIZE,
+            ));
+            programming
+        },
+    )
 }
 
 #[cfg(test)]
@@ -315,7 +208,8 @@ mod tests {
     use super::*;
     use vf_virtio::net::VirtioNetConfig;
     use vf_virtio::packed::PackedDeviceQueue;
-    use vf_virtio::pci::CommonCfg;
+    use vf_virtio::pci::{common, CommonCfg};
+    use vf_virtio::{status, GuestMemory};
 
     struct Loopback {
         common: CommonCfg,

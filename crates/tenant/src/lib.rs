@@ -1,0 +1,30 @@
+//! # vf-tenant — multi-tenant vhost backend model
+//!
+//! The building blocks for experiment E21: M simulated guest VMs, each
+//! driving its own virtio-net front end, multiplexed onto one physical
+//! FPGA device the way a vhost/vDPA backend does (Virtio-FPGA, arxiv
+//! 2304.01721):
+//!
+//! * [`tenant`] — per-tenant configuration: scheduling weight, strict
+//!   priority, transmit-window depth, paused/noisy-neighbor presets;
+//! * [`vhost`] — the per-tenant vhost worker thread: its own simulated
+//!   core and cost stream, serializing the guest-kick → ring-copy →
+//!   doorbell relay (TX) and the completion-copy → irq-inject relay
+//!   (RX);
+//! * [`arbiter`] — the device-side QoS arbiter that grants the shared
+//!   descriptor-walker engine to one tenant's doorbell at a time, under
+//!   a pluggable policy (round-robin, weighted-share, strict-priority).
+//!
+//! The worlds that wire these into the testbed live in
+//! `virtio-fpga::tenant`; this crate stays policy/mechanism only so the
+//! arbiter can be unit-tested without a device model.
+
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod tenant;
+pub mod vhost;
+
+pub use arbiter::{ArbiterPolicy, Decision, QosArbiter, TenantClass};
+pub use tenant::TenantConfig;
+pub use vhost::{VhostWorker, WORKER_RNG_TAG_BASE};

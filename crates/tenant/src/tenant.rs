@@ -1,0 +1,79 @@
+//! Per-tenant configuration.
+
+/// How one tenant behaves and what share of the device it is promised.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Weighted-share scheduling weight (≥ 1). A tenant with weight 2
+    /// is promised twice the walker-engine time of a weight-1 tenant
+    /// under [`ArbiterPolicy::WeightedShare`](crate::ArbiterPolicy).
+    pub weight: u32,
+    /// Strict-priority class — higher wins under
+    /// [`ArbiterPolicy::StrictPriority`](crate::ArbiterPolicy).
+    pub priority: u8,
+    /// Per-tenant transmit-window depth override (packets in flight);
+    /// `None` uses the run's default depth.
+    pub depth: Option<usize>,
+    /// A paused tenant sends nothing: its queues stay programmed and
+    /// its RX buffers posted, but no traffic ever enters them.
+    pub paused: bool,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig {
+            weight: 1,
+            priority: 0,
+            depth: None,
+            paused: false,
+        }
+    }
+}
+
+impl TenantConfig {
+    /// A noisy neighbor: top strict-priority class and a transmit
+    /// window twice the run default (capped by the caller at the ring),
+    /// so it saturates whatever share the arbiter policy lets it take.
+    pub fn noisy() -> Self {
+        TenantConfig {
+            weight: 1,
+            priority: 7,
+            depth: Some(32),
+            paused: false,
+        }
+    }
+
+    /// An idle tenant: fully brought up, never sends.
+    pub fn idle() -> Self {
+        TenantConfig {
+            paused: true,
+            ..TenantConfig::default()
+        }
+    }
+
+    /// The run's transmit-window depth for this tenant.
+    pub fn depth_or(&self, default: usize) -> usize {
+        self.depth.unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_uniform_equal_share() {
+        let c = TenantConfig::default();
+        assert_eq!(c.weight, 1);
+        assert_eq!(c.priority, 0);
+        assert_eq!(c.depth_or(16), 16);
+        assert!(!c.paused);
+    }
+
+    #[test]
+    fn presets() {
+        let n = TenantConfig::noisy();
+        assert!(n.priority > TenantConfig::default().priority);
+        assert_eq!(n.depth_or(16), 32);
+        assert!(TenantConfig::idle().paused);
+    }
+}
