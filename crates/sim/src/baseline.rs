@@ -1,0 +1,191 @@
+//! The pre-wheel reference engine, preserved for differential validation.
+//!
+//! [`HeapSimulation`] is the engine exactly as it shipped before the
+//! timing-wheel refactor: a `BinaryHeap<Reverse<Scheduled>>` ordered by
+//! `(time, sequence)`, with a fresh staging `Vec` allocated for every
+//! delivery. It is deliberately **not** optimized — it exists so that
+//!
+//! * `tests/prop_wheel.rs` can drive random event streams through both
+//!   engines and require event-for-event identical delivery, and
+//! * the `sim_core` bench can report the wheel's speedup against the real
+//!   historical baseline rather than a synthetic strawman.
+//!
+//! It shares [`World`], [`Scheduler`], and [`RunOutcome`] with the wheel
+//! engine, so any world runs under either unchanged. Do not use it outside
+//! tests and benches; [`Simulation`](crate::engine::Simulation) is the
+//! engine everything else should be on.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::engine::{RunOutcome, Scheduler, World};
+use crate::time::Time;
+
+/// An event in the reference queue: delivery time, FIFO sequence number,
+/// message.
+struct Scheduled<M> {
+    at: Time,
+    seq: u64,
+    msg: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The original binary-heap discrete-event engine over world `W`.
+///
+/// API-identical to [`Simulation`](crate::engine::Simulation) (minus the
+/// delivery hook, which no differential consumer needs); see the module
+/// docs for why it is kept.
+pub struct HeapSimulation<W: World> {
+    /// The modeled system.
+    pub world: W,
+    queue: BinaryHeap<Reverse<Scheduled<W::Msg>>>,
+    now: Time,
+    seq: u64,
+    delivered: u64,
+}
+
+impl<W: World> HeapSimulation<W> {
+    /// Create a simulation at time zero with an empty queue.
+    pub fn new(world: W) -> Self {
+        HeapSimulation {
+            world,
+            queue: BinaryHeap::new(),
+            now: Time::ZERO,
+            seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last delivered event).
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total events delivered so far.
+    #[inline]
+    pub fn events_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events currently pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule a message from outside the event loop.
+    pub fn schedule(&mut self, delay: Time, msg: W::Msg) {
+        self.schedule_at(self.now + delay, msg);
+    }
+
+    /// Schedule at an absolute instant (clamped to now).
+    pub fn schedule_at(&mut self, at: Time, msg: W::Msg) {
+        let at = at.max(self.now);
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            msg,
+        }));
+        self.seq += 1;
+    }
+
+    /// Deliver the single earliest event. Returns `false` if the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "event queue went backwards");
+        self.now = ev.at;
+        // The historical per-delivery allocation, kept on purpose: this is
+        // the baseline the wheel engine is measured against.
+        let mut sched = Scheduler::with_buffer(self.now, Vec::new());
+        self.world.deliver(self.now, ev.msg, &mut sched);
+        self.delivered += 1;
+        for (at, msg) in sched.into_buffer() {
+            self.queue.push(Reverse(Scheduled {
+                at,
+                seq: self.seq,
+                msg,
+            }));
+            self.seq += 1;
+        }
+        true
+    }
+
+    /// Run until the queue drains, `horizon` is passed, or `max_events`
+    /// deliveries have been made.
+    pub fn run(&mut self, horizon: Time, max_events: u64) -> RunOutcome {
+        let budget_end = self.delivered.saturating_add(max_events);
+        loop {
+            match self.queue.peek() {
+                None => return RunOutcome::Idle,
+                Some(Reverse(ev)) if ev.at > horizon => return RunOutcome::Horizon,
+                Some(_) => {}
+            }
+            if self.delivered >= budget_end {
+                return RunOutcome::EventBudget;
+            }
+            self.step();
+        }
+    }
+
+    /// Run until the queue drains (with a generous livelock guard).
+    pub fn run_to_idle(&mut self) -> RunOutcome {
+        self.run(Time::MAX, u64::MAX / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Countdown {
+        log: Vec<(Time, u32)>,
+    }
+
+    impl World for Countdown {
+        type Msg = u32;
+        fn deliver(&mut self, now: Time, msg: u32, sched: &mut Scheduler<u32>) {
+            self.log.push((now, msg));
+            if msg > 0 {
+                sched.after(Time::from_ns(10), msg - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn reference_engine_matches_documented_semantics() {
+        let mut sim = HeapSimulation::new(Countdown { log: Vec::new() });
+        sim.schedule(Time::from_ns(5), 3);
+        assert_eq!(sim.run_to_idle(), RunOutcome::Idle);
+        assert_eq!(
+            sim.world.log,
+            vec![
+                (Time::from_ns(5), 3),
+                (Time::from_ns(15), 2),
+                (Time::from_ns(25), 1),
+                (Time::from_ns(35), 0),
+            ]
+        );
+        assert_eq!(sim.events_delivered(), 4);
+        assert_eq!(sim.pending(), 0);
+    }
+}

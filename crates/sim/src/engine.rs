@@ -8,15 +8,23 @@
 //! simulation is a pure function of its seed and initial events — a property
 //! the reproduction harness relies on for run-to-run comparability.
 //!
+//! The event queue is a hierarchical [`TimingWheel`](crate::wheel) with a
+//! slab/freelist node store, replacing the original
+//! `BinaryHeap<Reverse<Scheduled>>`: inserts and pops are `O(1)` amortized
+//! instead of `O(log n)`, and the steady-state loop performs **no heap
+//! allocation** — the staging buffer a delivery schedules into is recycled
+//! across events. The pre-wheel engine is preserved verbatim in
+//! [`baseline`](crate::baseline) as the differential-testing reference and
+//! bench baseline; `tests/prop_wheel.rs` drives both engines with random
+//! event streams and requires event-for-event identical delivery.
+//!
 //! The engine is intentionally minimal: components, wiring, and message
 //! typing live in the crates that model the testbed. Keeping the kernel
 //! generic lets every substrate crate unit-test its state machines against a
 //! tiny ad-hoc `World` without dragging in the full testbed.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::time::Time;
+use crate::wheel::TimingWheel;
 
 /// The environment a simulation runs: receives each delivered message and
 /// schedules follow-up work.
@@ -63,29 +71,19 @@ impl<M> Scheduler<M> {
     pub fn now_msg(&mut self, msg: M) {
         self.staged.push((self.now, msg));
     }
-}
 
-/// An event in the queue: delivery time, FIFO sequence number, message.
-struct Scheduled<M> {
-    at: Time,
-    seq: u64,
-    msg: M,
-}
+    /// Build a scheduler around a recycled staging buffer (empty, but with
+    /// capacity from previous deliveries). Shared with the baseline engine.
+    #[inline]
+    pub(crate) fn with_buffer(now: Time, staged: Vec<(Time, M)>) -> Self {
+        debug_assert!(staged.is_empty());
+        Scheduler { now, staged }
+    }
 
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+    /// Surrender the staging buffer for draining and recycling.
+    #[inline]
+    pub(crate) fn into_buffer(self) -> Vec<(Time, M)> {
+        self.staged
     }
 }
 
@@ -110,11 +108,12 @@ pub struct Simulation<W: World> {
     /// The modeled system; public so the harness can inspect state between
     /// runs and inject stimulus.
     pub world: W,
-    queue: BinaryHeap<Reverse<Scheduled<W::Msg>>>,
+    queue: TimingWheel<W::Msg>,
     now: Time,
-    seq: u64,
     delivered: u64,
     hook: Option<DeliveryHook<W::Msg>>,
+    /// Recycled staging buffer handed to the [`Scheduler`] each delivery.
+    scratch: Vec<(Time, W::Msg)>,
 }
 
 impl<W: World> Simulation<W> {
@@ -122,11 +121,11 @@ impl<W: World> Simulation<W> {
     pub fn new(world: W) -> Self {
         Simulation {
             world,
-            queue: BinaryHeap::new(),
+            queue: TimingWheel::new(),
             now: Time::ZERO,
-            seq: 0,
             delivered: 0,
             hook: None,
+            scratch: Vec::new(),
         }
     }
 
@@ -166,51 +165,68 @@ impl<W: World> Simulation<W> {
 
     /// Schedule at an absolute instant (clamped to now).
     pub fn schedule_at(&mut self, at: Time, msg: W::Msg) {
-        let at = at.max(self.now);
-        self.queue.push(Reverse(Scheduled {
-            at,
-            seq: self.seq,
-            msg,
-        }));
-        self.seq += 1;
+        self.queue.insert(at.max(self.now), msg);
     }
 
     /// Deliver the single earliest event. Returns `false` if the queue is
     /// empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some((at, msg)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "event queue went backwards");
-        self.now = ev.at;
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
         if let Some(hook) = self.hook.as_mut() {
-            hook(self.now, &ev.msg);
+            hook(self.now, &msg);
         }
-        let mut sched = Scheduler {
-            now: self.now,
-            staged: Vec::new(),
-        };
-        self.world.deliver(self.now, ev.msg, &mut sched);
+        let mut sched = Scheduler::with_buffer(self.now, std::mem::take(&mut self.scratch));
+        self.world.deliver(self.now, msg, &mut sched);
         self.delivered += 1;
-        for (at, msg) in sched.staged {
-            self.queue.push(Reverse(Scheduled {
-                at,
-                seq: self.seq,
-                msg,
-            }));
-            self.seq += 1;
+        let mut staged = sched.into_buffer();
+        for (at, msg) in staged.drain(..) {
+            // Staged times are already >= now: `after`/`now_msg` add to it
+            // and `at` clamps when staging.
+            self.queue.insert(at, msg);
         }
+        self.scratch = staged;
         true
     }
 
     /// Run until the queue drains, `horizon` is passed, or `max_events`
     /// deliveries have been made.
     pub fn run(&mut self, horizon: Time, max_events: u64) -> RunOutcome {
-        let budget_end = self.delivered + max_events;
+        // Saturate: `run_to_idle` passes a budget of `u64::MAX / 2`, which
+        // would overflow here once enough events have been delivered across
+        // repeated runs of a long-lived simulation.
+        let budget_end = self.delivered.saturating_add(max_events);
+        if horizon == Time::MAX {
+            // Sweep hot path: no event can lie beyond `Time::MAX`, so the
+            // horizon check can never fire and the exact `next_at()` peek
+            // (which walks a slot chain to find the minimum) is pure
+            // overhead — an emptiness test is enough.
+            loop {
+                if self.queue.is_empty() {
+                    return RunOutcome::Idle;
+                }
+                if self.delivered >= budget_end {
+                    return RunOutcome::EventBudget;
+                }
+                self.step();
+            }
+        }
         loop {
-            match self.queue.peek() {
+            // Peek via the chain-walk-free window first; the exact peek is
+            // only needed when the horizon falls inside the window of the
+            // slot holding the next event.
+            match self.queue.next_window() {
                 None => return RunOutcome::Idle,
-                Some(Reverse(ev)) if ev.at > horizon => return RunOutcome::Horizon,
+                Some((lo, _)) if lo > horizon => return RunOutcome::Horizon,
+                Some((_, hi)) if hi > horizon => {
+                    let at = self.queue.next_at().expect("window implies non-empty");
+                    if at > horizon {
+                        return RunOutcome::Horizon;
+                    }
+                }
                 Some(_) => {}
             }
             if self.delivered >= budget_end {
@@ -396,6 +412,18 @@ mod tests {
         assert_eq!(sim.run(Time::MAX, 1000), RunOutcome::EventBudget);
         assert_eq!(sim.events_delivered(), 1000);
         assert_eq!(sim.now(), Time::ZERO);
+    }
+
+    #[test]
+    fn event_budget_saturates_across_repeated_runs() {
+        let mut sim = Simulation::new(Countdown { log: Vec::new() });
+        sim.schedule(Time::from_ns(5), 3);
+        assert_eq!(sim.run(Time::MAX, u64::MAX), RunOutcome::Idle);
+        // Regression: with events already delivered, a near-max budget used
+        // to compute `delivered + max_events` and overflow in debug builds.
+        sim.schedule(Time::from_ns(5), 3);
+        assert_eq!(sim.run(Time::MAX, u64::MAX), RunOutcome::Idle);
+        assert_eq!(sim.events_delivered(), 8);
     }
 
     #[test]

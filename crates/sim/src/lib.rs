@@ -6,6 +6,11 @@
 //!   (1 ns resolution) and the FPGA fabric clock (8 ns @ 125 MHz);
 //! * [`engine`] — a deterministic discrete-event loop generic over a
 //!   world-defined message type;
+//! * [`wheel`] — the hierarchical timing-wheel queue behind the engine
+//!   (slab-allocated, allocation-free in steady state, with a sorted
+//!   overflow level for far-future events);
+//! * [`baseline`] — the pre-wheel binary-heap engine, preserved as the
+//!   differential-testing reference and bench baseline;
 //! * [`rng`] — seeded, stream-splittable randomness so every run is a pure
 //!   function of `(seed, configuration)`;
 //! * [`noise`] — the host-OS residual-noise model (per-step lognormal
@@ -44,12 +49,14 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod engine;
 pub mod noise;
 pub mod rng;
 pub mod stats;
 pub mod sweep;
 pub mod time;
+pub mod wheel;
 
 pub use engine::{RunOutcome, Scheduler, Simulation, World};
 pub use noise::{Jitter, NoiseModel, SpikeClass};
@@ -57,3 +64,4 @@ pub use rng::SimRng;
 pub use stats::{Histogram, SampleSet, Summary, Welford};
 pub use sweep::{default_threads, parallel_map};
 pub use time::{Time, FPGA_CYCLE};
+pub use wheel::TimingWheel;

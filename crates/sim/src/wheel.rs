@@ -1,0 +1,612 @@
+//! Hierarchical timing-wheel event queue — the engine's hot core.
+//!
+//! The [`Simulation`](crate::engine::Simulation) event loop used to sit on a
+//! `BinaryHeap<Reverse<Scheduled>>`: every insert and pop paid `O(log n)`
+//! sift work plus the cache misses of a heap laid out by age, and the E19–E21
+//! sweeps (16 queue pairs, 64 tenants, out-of-order depth scans) spend most
+//! of their wall clock in exactly those two operations. [`TimingWheel`]
+//! replaces it with the classic hashed hierarchical wheel:
+//!
+//! * **Geometry** — [`LEVELS`] levels of [`SLOTS`] slots each, 6 bits per
+//!   level at the native 1 ps tick of [`Time`]. Level *l* slots are
+//!   `64^l` ps wide, so the wheel spans `2^36` ps ≈ 68.7 simulated seconds
+//!   beyond the current epoch — far past the longest sweep in the repro.
+//!   Events beyond the horizon wait in a **sorted overflow level** (a binary
+//!   heap ordered by `(time, seq)`) and are promoted into the wheel when the
+//!   epoch's top-level window rolls onto them.
+//! * **Slab allocation** — queue nodes live in one growable slab recycled
+//!   through an intrusive freelist; steady-state scheduling allocates
+//!   nothing. Slot chains are intrusive singly-linked lists through the
+//!   slab, so cascading a slot is pointer surgery, not memmove.
+//! * **Exact FIFO tie-break** — every insert is stamped with a monotonic
+//!   sequence number. A level-0 slot is one tick wide, so all its entries
+//!   share one expiry; the batch is sorted by sequence before delivery,
+//!   which reproduces the heap's `(time, seq)` order bit-for-bit. The
+//!   determinism goldens in `tests/determinism.rs` pin this equivalence.
+//!
+//! ## Epoch discipline
+//!
+//! `epoch` is the timestamp of the most recently popped batch; the wheel
+//! holds only events strictly after it, the `ready` queue holds the
+//! still-undelivered remainder of the batch *at* it. The engine clamps every
+//! insert to its own `now == epoch`, so slots never have to represent the
+//! past. Crucially, [`next_at`](TimingWheel::next_at) peeks without moving
+//! the epoch (it scans the earliest occupied slot instead of cascading), so
+//! a horizon check in `Simulation::run` cannot invalidate later inserts.
+//!
+//! ## Why "lowest occupied level" finds the earliest event
+//!
+//! The invariant maintained by insert and cascade is that an entry stored at
+//! level *l* agrees with the epoch on every 6-bit digit above *l*. Occupied
+//! slots at level *l* therefore lie strictly between the end of the level
+//! *l−1* window and the end of the level *l* window: the per-level ranges
+//! are disjoint and ordered by level. Scanning levels bottom-up and taking
+//! the first occupied slot (lowest set bit of the occupancy word) yields the
+//! slot containing the global minimum; for levels ≥ 1 the slot is walked
+//! once to find the exact minimum expiry, the epoch jumps there, and the
+//! rest of the slot cascades into lower levels relative to the new epoch.
+//! Each event cascades at most once per level over its lifetime, so the
+//! amortized cost per event is `O(LEVELS)` with no comparisons against
+//! unrelated events — the property that makes million-RTT sweeps cheap.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::time::Time;
+
+/// Bits of slot index per level (64 slots).
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+pub const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of wheel levels; beyond them the sorted overflow level takes over.
+pub const LEVELS: usize = 6;
+/// Total bits the in-wheel horizon spans: 2^36 ps ≈ 68.7 s.
+const WHEEL_BITS: u32 = SLOT_BITS * LEVELS as u32;
+const SLOT_MASK: u64 = SLOTS as u64 - 1;
+/// Null link in the intrusive slot chains / freelist.
+const NIL: u32 = u32::MAX;
+
+/// One slab entry: an event node threaded into a slot chain (or, when
+/// `msg` is `None`, into the freelist).
+struct Node<M> {
+    at: u64,
+    seq: u64,
+    next: u32,
+    msg: Option<M>,
+}
+
+/// One wheel level: a 64-bit occupancy word plus the chain head per slot.
+#[derive(Clone, Copy)]
+struct Level {
+    occupied: u64,
+    slots: [u32; SLOTS],
+}
+
+impl Level {
+    const EMPTY: Level = Level {
+        occupied: 0,
+        slots: [NIL; SLOTS],
+    };
+}
+
+/// Far-future event parked in the sorted overflow level. Ordered by
+/// `(at, seq)` so the heap pops in exact delivery order.
+struct Overflow<M> {
+    at: u64,
+    seq: u64,
+    msg: M,
+}
+
+impl<M> PartialEq for Overflow<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Overflow<M> {}
+impl<M> PartialOrd for Overflow<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Overflow<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A hierarchical timing wheel holding `(Time, M)` events in exact
+/// `(time, insertion-sequence)` order.
+///
+/// The queue behind [`Simulation`](crate::engine::Simulation); exposed so
+/// differential tests and benches can drive it directly. Inserts must never
+/// predate the timestamp of the last popped event (the engine guarantees
+/// this by clamping to `now`); this is debug-asserted.
+pub struct TimingWheel<M> {
+    levels: [Level; LEVELS],
+    slab: Vec<Node<M>>,
+    /// Freelist head into `slab`.
+    free: u32,
+    /// Sorted overflow level for events beyond the wheel horizon.
+    overflow: BinaryHeap<Reverse<Overflow<M>>>,
+    /// The undelivered remainder of the current batch, all at `epoch`,
+    /// in sequence order.
+    ready: VecDeque<(u64, M)>,
+    /// Timestamp of the current/most recent batch; wheel contents are
+    /// strictly after it.
+    epoch: u64,
+    /// Next insertion sequence number (the FIFO tie-break stamp).
+    seq: u64,
+    len: usize,
+    /// Cached earliest wheel/overflow expiry (not counting `ready`);
+    /// invalidated when a batch is popped, tightened by inserts.
+    next_cache: Option<Time>,
+}
+
+impl<M> TimingWheel<M> {
+    /// An empty wheel with its epoch at time zero.
+    pub fn new() -> Self {
+        TimingWheel {
+            levels: [Level::EMPTY; LEVELS],
+            slab: Vec::new(),
+            free: NIL,
+            overflow: BinaryHeap::new(),
+            ready: VecDeque::new(),
+            epoch: 0,
+            seq: 0,
+            len: 0,
+            next_cache: None,
+        }
+    }
+
+    /// Number of pending events (ready batch + wheel + overflow).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert an event at absolute instant `at` (must be `>=` the last
+    /// popped timestamp). Later inserts at equal instants deliver later:
+    /// each insert is stamped with the next sequence number.
+    pub fn insert(&mut self, at: Time, msg: M) {
+        let seq = self.seq;
+        self.seq += 1;
+        let at = at.as_ps();
+        debug_assert!(
+            at >= self.epoch,
+            "insert into the past: {at} < {}",
+            self.epoch
+        );
+        self.len += 1;
+        let xor = at ^ self.epoch;
+        if xor == 0 {
+            // Joins the batch at the current instant; `seq` is monotonic so
+            // appending preserves sequence order.
+            self.ready.push_back((seq, msg));
+        } else {
+            if let Some(c) = self.next_cache {
+                if at < c.as_ps() {
+                    self.next_cache = Some(Time::from_ps(at));
+                }
+            }
+            if xor >> WHEEL_BITS != 0 {
+                self.overflow.push(Reverse(Overflow { at, seq, msg }));
+            } else {
+                let node = self.alloc(at, seq, msg);
+                self.file(node, at);
+            }
+        }
+    }
+
+    /// Exact timestamp of the next event to pop, without delivering or
+    /// advancing the epoch. `None` when empty.
+    pub fn next_at(&mut self) -> Option<Time> {
+        if !self.ready.is_empty() {
+            return Some(Time::from_ps(self.epoch));
+        }
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(c) = self.next_cache {
+            return Some(c);
+        }
+        let at = match self.lowest_slot() {
+            Some((0, idx)) => (self.epoch & !SLOT_MASK) | idx as u64,
+            Some((level, idx)) => self.slot_min(level, idx),
+            None => {
+                let Reverse(head) = self.overflow.peek().expect("len > 0 with empty queue");
+                head.at
+            }
+        };
+        let at = Time::from_ps(at);
+        self.next_cache = Some(at);
+        Some(at)
+    }
+
+    /// Conservative inclusive window `[lo, hi]` containing the next
+    /// event's timestamp, computed with O(levels) bit scans and **no**
+    /// slot-chain walk. Exact (`lo == hi`) when the next event sits in the
+    /// ready batch, a level-0 slot, or the overflow heap; for a level-`l`
+    /// slot the window is the slot's 2^(6·l)-tick span. `None` when empty.
+    ///
+    /// This is the cheap peek behind
+    /// [`Simulation::run`](crate::engine::Simulation::run)'s horizon check:
+    /// `lo > horizon` proves the next event lies beyond the horizon and
+    /// `hi <= horizon` proves it does not, so the exact (chain-walking)
+    /// [`next_at`](Self::next_at) is only needed when the horizon falls
+    /// inside the window.
+    pub fn next_window(&self) -> Option<(Time, Time)> {
+        if !self.ready.is_empty() {
+            let t = Time::from_ps(self.epoch);
+            return Some((t, t));
+        }
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(c) = self.next_cache {
+            return Some((c, c));
+        }
+        let (lo, hi) = match self.lowest_slot() {
+            Some((level, idx)) => {
+                let shift = level as u32 * SLOT_BITS;
+                let span = 1u64 << shift;
+                let base = (self.epoch & !(span * SLOTS as u64 - 1)) | ((idx as u64) << shift);
+                (base, base + (span - 1))
+            }
+            None => {
+                let Reverse(head) = self.overflow.peek().expect("len > 0 with empty queue");
+                (head.at, head.at)
+            }
+        };
+        Some((Time::from_ps(lo), Time::from_ps(hi)))
+    }
+
+    /// Pop the earliest event in `(time, sequence)` order.
+    pub fn pop(&mut self) -> Option<(Time, M)> {
+        if self.ready.is_empty() {
+            self.pop_batch();
+            self.next_cache = None;
+        }
+        let (_seq, msg) = self.ready.pop_front()?;
+        self.len -= 1;
+        Some((Time::from_ps(self.epoch), msg))
+    }
+
+    /// Move the earliest batch (all events at one instant) into `ready`,
+    /// advancing the epoch to that instant.
+    fn pop_batch(&mut self) {
+        debug_assert!(self.ready.is_empty());
+        if let Some((level, idx)) = self.lowest_slot() {
+            let head = self.take_slot(level, idx);
+            if level == 0 {
+                // One-tick slot: every entry shares the same expiry.
+                self.epoch = (self.epoch & !SLOT_MASK) | idx as u64;
+                let mut n = head;
+                while n != NIL {
+                    let next = self.slab[n as usize].next;
+                    let seq = self.slab[n as usize].seq;
+                    let msg = self.recycle(n);
+                    self.ready.push_back((seq, msg));
+                    n = next;
+                }
+            } else {
+                // Cascade: jump the epoch to the slot's earliest expiry,
+                // deliver those entries, re-file the rest at lower levels
+                // relative to the new epoch.
+                let mut t_min = u64::MAX;
+                let mut n = head;
+                while n != NIL {
+                    t_min = t_min.min(self.slab[n as usize].at);
+                    n = self.slab[n as usize].next;
+                }
+                self.epoch = t_min;
+                let mut n = head;
+                while n != NIL {
+                    let next = self.slab[n as usize].next;
+                    let at = self.slab[n as usize].at;
+                    if at == t_min {
+                        let seq = self.slab[n as usize].seq;
+                        let msg = self.recycle(n);
+                        self.ready.push_back((seq, msg));
+                    } else {
+                        self.file(n, at);
+                    }
+                    n = next;
+                }
+            }
+            // Slot chains are in insertion-stack order; restore FIFO.
+            self.ready
+                .make_contiguous()
+                .sort_unstable_by_key(|&(seq, _)| seq);
+            return;
+        }
+        // Wheel empty: the overflow level holds the horizon. Jump the epoch
+        // there, take the equal-time batch (heap order is already
+        // sequence-sorted within one instant), then promote everything that
+        // now fits inside the rolled-over wheel windows.
+        let Some(Reverse(head)) = self.overflow.pop() else {
+            return;
+        };
+        self.epoch = head.at;
+        self.ready.push_back((head.seq, head.msg));
+        while self
+            .overflow
+            .peek()
+            .is_some_and(|Reverse(e)| e.at == self.epoch)
+        {
+            let Reverse(e) = self.overflow.pop().expect("peeked entry");
+            self.ready.push_back((e.seq, e.msg));
+        }
+        while self
+            .overflow
+            .peek()
+            .is_some_and(|Reverse(e)| (e.at ^ self.epoch) >> WHEEL_BITS == 0)
+        {
+            let Reverse(e) = self.overflow.pop().expect("peeked entry");
+            let node = self.alloc(e.at, e.seq, e.msg);
+            self.file(node, e.at);
+        }
+    }
+
+    /// Lowest occupied `(level, slot)`; by the level-window invariant this
+    /// slot contains the earliest pending wheel event.
+    #[inline]
+    fn lowest_slot(&self) -> Option<(usize, usize)> {
+        self.levels
+            .iter()
+            .position(|l| l.occupied != 0)
+            .map(|level| (level, self.levels[level].occupied.trailing_zeros() as usize))
+    }
+
+    /// Minimum expiry in a (non-empty) slot at `level >= 1`.
+    fn slot_min(&self, level: usize, idx: usize) -> u64 {
+        let mut t_min = u64::MAX;
+        let mut n = self.levels[level].slots[idx];
+        debug_assert!(n != NIL);
+        while n != NIL {
+            t_min = t_min.min(self.slab[n as usize].at);
+            n = self.slab[n as usize].next;
+        }
+        t_min
+    }
+
+    /// Detach and return a slot's chain head, clearing its occupancy bit.
+    #[inline]
+    fn take_slot(&mut self, level: usize, idx: usize) -> u32 {
+        let head = self.levels[level].slots[idx];
+        self.levels[level].slots[idx] = NIL;
+        self.levels[level].occupied &= !(1u64 << idx);
+        head
+    }
+
+    /// Link an allocated node into the slot its expiry selects under the
+    /// current epoch.
+    #[inline]
+    fn file(&mut self, node: u32, at: u64) {
+        let xor = at ^ self.epoch;
+        debug_assert!(xor != 0 && xor >> WHEEL_BITS == 0);
+        let level = ((63 - xor.leading_zeros()) / SLOT_BITS) as usize;
+        let idx = ((at >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+        self.slab[node as usize].next = self.levels[level].slots[idx];
+        self.levels[level].slots[idx] = node;
+        self.levels[level].occupied |= 1u64 << idx;
+    }
+
+    /// Take a node from the freelist or grow the slab.
+    fn alloc(&mut self, at: u64, seq: u64, msg: M) -> u32 {
+        if self.free != NIL {
+            let idx = self.free;
+            let node = &mut self.slab[idx as usize];
+            debug_assert!(node.msg.is_none());
+            self.free = node.next;
+            node.at = at;
+            node.seq = seq;
+            node.next = NIL;
+            node.msg = Some(msg);
+            idx
+        } else {
+            let idx = u32::try_from(self.slab.len()).expect("slab exceeds u32 indices");
+            assert!(idx != NIL, "timing wheel slab full");
+            self.slab.push(Node {
+                at,
+                seq,
+                next: NIL,
+                msg: Some(msg),
+            });
+            idx
+        }
+    }
+
+    /// Take a node's message and return the node to the freelist.
+    fn recycle(&mut self, idx: u32) -> M {
+        let node = &mut self.slab[idx as usize];
+        let msg = node.msg.take().expect("recycling an empty node");
+        node.next = self.free;
+        self.free = idx;
+        msg
+    }
+}
+
+impl<M> Default for TimingWheel<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(wheel: &mut TimingWheel<u32>) -> Vec<(u64, u32)> {
+        let mut out = Vec::new();
+        while let Some((at, msg)) = wheel.pop() {
+            out.push((at.as_ps(), msg));
+        }
+        out
+    }
+
+    #[test]
+    fn orders_by_time_then_sequence() {
+        let mut w = TimingWheel::new();
+        w.insert(Time::from_ns(30), 3);
+        w.insert(Time::from_ns(10), 1);
+        w.insert(Time::from_ns(10), 2);
+        w.insert(Time::from_ns(20), 4);
+        assert_eq!(w.next_at(), Some(Time::from_ns(10)));
+        assert_eq!(
+            drain(&mut w),
+            vec![(10_000, 1), (10_000, 2), (20_000, 4), (30_000, 3)]
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_instant_burst_is_fifo_across_levels() {
+        // Events at one instant inserted while the epoch is far away land
+        // at a high level and cascade; later inserts at the same instant
+        // (after the epoch moved close) land at level 0. Delivery must
+        // still be pure insertion order.
+        let mut w = TimingWheel::new();
+        let t = Time::from_us(5);
+        w.insert(t, 0); // epoch 0 → level 2-ish
+        w.insert(Time::from_us(5) - Time::from_ns(1), 99);
+        let (at, msg) = w.pop().unwrap();
+        assert_eq!((at, msg), (Time::from_us(5) - Time::from_ns(1), 99));
+        w.insert(t, 1); // epoch now 1 ns short of t → low level
+        w.insert(t, 2);
+        assert_eq!(
+            drain(&mut w),
+            vec![(t.as_ps(), 0), (t.as_ps(), 1), (t.as_ps(), 2)]
+        );
+    }
+
+    #[test]
+    fn far_future_goes_to_overflow_and_promotes() {
+        let mut w = TimingWheel::new();
+        // ~100 s and ~200 s: both beyond the 68.7 s wheel horizon.
+        w.insert(Time::from_secs(100), 1);
+        w.insert(Time::from_secs(100), 2);
+        w.insert(Time::from_secs(200), 3);
+        // +50 s from the 100 s epoch fits the wheel after promotion.
+        w.insert(Time::from_secs(150), 4);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.next_at(), Some(Time::from_secs(100)));
+        assert_eq!(w.pop(), Some((Time::from_secs(100), 1)));
+        assert_eq!(w.pop(), Some((Time::from_secs(100), 2)));
+        // 150 s was promoted out of overflow when the epoch rolled to 100 s.
+        assert_eq!(w.next_at(), Some(Time::from_secs(150)));
+        assert_eq!(w.pop(), Some((Time::from_secs(150), 4)));
+        assert_eq!(w.pop(), Some((Time::from_secs(200), 3)));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn time_max_is_representable() {
+        let mut w = TimingWheel::new();
+        w.insert(Time::from_ns(1), 0);
+        w.insert(Time::MAX, 1);
+        assert_eq!(w.pop(), Some((Time::from_ns(1), 0)));
+        assert_eq!(w.next_at(), Some(Time::MAX));
+        assert_eq!(w.pop(), Some((Time::MAX, 1)));
+        // After delivering at the end of time, same-instant inserts still work.
+        w.insert(Time::MAX, 2);
+        assert_eq!(w.pop(), Some((Time::MAX, 2)));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn len_is_exact_across_cascades() {
+        let mut w = TimingWheel::new();
+        let mut expected = 0usize;
+        for i in 0..500u32 {
+            // Spread across all levels and the overflow.
+            let at = Time::from_ps((i as u64 * i as u64) % (1 << 40));
+            w.insert(at, i);
+            expected += 1;
+            assert_eq!(w.len(), expected);
+        }
+        // Interleave pops (which cascade) with membership checks.
+        while let Some(at) = w.next_at() {
+            let (popped_at, _) = w.pop().unwrap();
+            assert_eq!(popped_at, at, "peek disagreed with pop");
+            expected -= 1;
+            assert_eq!(w.len(), expected);
+        }
+        assert_eq!(expected, 0);
+    }
+
+    #[test]
+    fn slab_recycles_nodes() {
+        let mut w = TimingWheel::new();
+        for round in 0..10u64 {
+            for i in 0..100u64 {
+                w.insert(Time::from_ns(round * 1000 + i), i as u32);
+            }
+            while w.pop().is_some() {}
+        }
+        // Freelist recycling: the slab never grows past one round's worth.
+        assert!(
+            w.slab.len() <= 100,
+            "slab grew to {} nodes for 100 live events",
+            w.slab.len()
+        );
+    }
+
+    #[test]
+    fn peek_does_not_advance_epoch() {
+        let mut w = TimingWheel::new();
+        w.insert(Time::from_us(7), 1);
+        assert_eq!(w.next_at(), Some(Time::from_us(7)));
+        // A later insert *earlier* than the peeked event must still win:
+        // peeking must not have rolled the epoch forward.
+        w.insert(Time::from_us(3), 2);
+        assert_eq!(w.next_at(), Some(Time::from_us(3)));
+        assert_eq!(w.pop(), Some((Time::from_us(3), 2)));
+        assert_eq!(w.pop(), Some((Time::from_us(7), 1)));
+    }
+
+    /// `next_window` must always bracket the exact `next_at`, be exact for
+    /// ready/level-0/overflow events, and never mutate the wheel.
+    #[test]
+    fn next_window_brackets_exact_peek() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        assert_eq!(w.next_window(), None);
+
+        // Level-0 event (within 64 ticks of the epoch): window is exact.
+        w.insert(Time::from_ps(5), 0);
+        assert_eq!(w.next_window(), Some((Time::from_ps(5), Time::from_ps(5))));
+
+        // A higher-level event alone: window is the slot span and must
+        // contain the exact minimum.
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        w.insert(Time::from_us(7), 1);
+        let (lo, hi) = w.next_window().unwrap();
+        assert!(lo <= Time::from_us(7) && Time::from_us(7) <= hi);
+        assert!(hi.as_ps() - lo.as_ps() < 1 << (SLOT_BITS * LEVELS as u32));
+        // The exact peek caches; afterwards the window collapses to it.
+        assert_eq!(w.next_at(), Some(Time::from_us(7)));
+        assert_eq!(w.next_window(), Some((Time::from_us(7), Time::from_us(7))));
+
+        // Overflow-only (beyond the in-wheel horizon): exact again.
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        w.insert(Time::from_secs(100), 2);
+        assert_eq!(
+            w.next_window(),
+            Some((Time::from_secs(100), Time::from_secs(100)))
+        );
+
+        // Ready batch at the epoch: exact, and unaffected by later events.
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        w.insert(Time::ZERO, 3);
+        w.insert(Time::from_ms(1), 4);
+        assert_eq!(w.next_window(), Some((Time::ZERO, Time::ZERO)));
+        assert_eq!(w.pop(), Some((Time::ZERO, 3)));
+        let (lo, hi) = w.next_window().unwrap();
+        assert!(lo <= Time::from_ms(1) && Time::from_ms(1) <= hi);
+    }
+}

@@ -1,0 +1,241 @@
+//! Differential property tests: the timing-wheel engine must be
+//! **event-for-event identical** to the reference binary-heap engine.
+//!
+//! A scripted world turns each delivered message into a deterministic
+//! burst of follow-up events — mixing `after`, absolute `at` (including
+//! past instants that must clamp to now), and `now_msg`, with delays that
+//! exercise every wheel level plus the sorted overflow — and logs every
+//! delivery. Running the same script under [`Simulation`] (timing wheel)
+//! and [`HeapSimulation`] (reference heap) must produce the same log,
+//! the same clock, and the same event counts at every observation point.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use vf_sim::baseline::HeapSimulation;
+use vf_sim::{RunOutcome, Scheduler, Simulation, Time, World};
+
+/// How a delivered event schedules its children.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// `after(delay)` — relative delay in picoseconds.
+    After(u64),
+    /// `at(now - back)` — absolute instant, possibly in the past (clamps).
+    AtBack(u64),
+    /// `at(now + fwd)` — absolute future instant.
+    AtForward(u64),
+    /// `now_msg` — same-instant burst.
+    Now,
+}
+
+/// A deterministic branching program: message `id` looks up its fan-out.
+#[derive(Clone, Debug)]
+struct Script {
+    /// Per-delivery fan-out ops, indexed by `id % ops.len()`.
+    ops: Vec<Vec<Op>>,
+    /// Each delivery spawns children until this many total have been made,
+    /// bounding the run.
+    max_spawns: u32,
+}
+
+/// World interpreting a [`Script`], logging `(time, id)` per delivery.
+struct Scripted {
+    script: Script,
+    spawned: u32,
+    log: Vec<(Time, u32)>,
+}
+
+impl Scripted {
+    fn new(script: Script) -> Self {
+        Scripted {
+            script,
+            spawned: 0,
+            log: Vec::new(),
+        }
+    }
+}
+
+impl World for Scripted {
+    type Msg = u32;
+
+    fn deliver(&mut self, now: Time, id: u32, sched: &mut Scheduler<u32>) {
+        self.log.push((now, id));
+        let ops = &self.script.ops[id as usize % self.script.ops.len()];
+        for (k, op) in ops.iter().enumerate() {
+            if self.spawned >= self.script.max_spawns {
+                return;
+            }
+            self.spawned += 1;
+            let child = id.wrapping_mul(31).wrapping_add(k as u32 + 1);
+            match *op {
+                Op::After(ps) => sched.after(Time::from_ps(ps), child),
+                Op::AtBack(ps) => sched.at(now.saturating_sub(Time::from_ps(ps)), child),
+                Op::AtForward(ps) => sched.at(now + Time::from_ps(ps), child),
+                Op::Now => sched.now_msg(child),
+            }
+        }
+    }
+}
+
+/// Delay strategy spanning every wheel level and the overflow heap:
+/// same-instant (0), sub-slot ps, ns, µs, ms, multi-second, and
+/// beyond-horizon (> 2^36 ps ≈ 68.7 s) values.
+fn delay_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        1u64..64,
+        64u64..4096,
+        1_000u64..1_000_000,
+        1_000_000u64..1_000_000_000,
+        1_000_000_000u64..1_000_000_000_000,
+        // Straddles the 2^36 ps wheel horizon from either side.
+        60_000_000_000_000u64..80_000_000_000_000,
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        delay_strategy().prop_map(Op::After),
+        delay_strategy().prop_map(Op::AtBack),
+        delay_strategy().prop_map(Op::AtForward),
+        Just(Op::Now),
+    ]
+}
+
+fn script_strategy() -> impl Strategy<Value = Script> {
+    (vec(vec(op_strategy(), 0..4), 1..8), 50u32..400)
+        .prop_map(|(ops, max_spawns)| Script { ops, max_spawns })
+}
+
+const BUDGET: u64 = 5_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Full-run equivalence: seed events, run both engines to idle (under
+    /// the same generous budget — scripts that livelock via `now_msg` stop
+    /// at the same delivery count), compare the complete delivery logs.
+    #[test]
+    fn wheel_matches_heap_event_for_event(
+        script in script_strategy(),
+        seeds in vec((delay_strategy(), 0u32..1000), 1..12),
+    ) {
+        let mut wheel = Simulation::new(Scripted::new(script.clone()));
+        let mut heap = HeapSimulation::new(Scripted::new(script));
+        for &(delay, id) in &seeds {
+            wheel.schedule(Time::from_ps(delay), id);
+            heap.schedule(Time::from_ps(delay), id);
+        }
+        let a = wheel.run(Time::MAX, BUDGET);
+        let b = heap.run(Time::MAX, BUDGET);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(&wheel.world.log, &heap.world.log);
+        prop_assert_eq!(wheel.now(), heap.now());
+        prop_assert_eq!(wheel.events_delivered(), heap.events_delivered());
+        prop_assert_eq!(wheel.pending(), heap.pending());
+    }
+
+    /// Stepwise equivalence with horizon pauses and mid-run stimulus: the
+    /// engines must agree not just on the final log but at every paused
+    /// observation point, including `pending()` while batches are split
+    /// across wheel levels and the overflow, and after new events are
+    /// injected between partial runs.
+    #[test]
+    fn wheel_matches_heap_across_paused_runs(
+        script in script_strategy(),
+        seeds in vec((delay_strategy(), 0u32..1000), 1..8),
+        horizons in vec(delay_strategy(), 1..6),
+    ) {
+        let mut wheel = Simulation::new(Scripted::new(script.clone()));
+        let mut heap = HeapSimulation::new(Scripted::new(script));
+        for &(delay, id) in &seeds {
+            wheel.schedule(Time::from_ps(delay), id);
+            heap.schedule(Time::from_ps(delay), id);
+        }
+        let mut horizon = Time::ZERO;
+        for (i, &h) in horizons.iter().enumerate() {
+            horizon += Time::from_ps(h);
+            let a = wheel.run(horizon, BUDGET);
+            let b = heap.run(horizon, BUDGET);
+            prop_assert_eq!(a, b, "outcome diverged at pause {}", i);
+            prop_assert_eq!(&wheel.world.log, &heap.world.log);
+            prop_assert_eq!(wheel.now(), heap.now());
+            prop_assert_eq!(wheel.pending(), heap.pending());
+            // Inject fresh stimulus mid-flight, including a past absolute
+            // instant (must clamp identically).
+            wheel.schedule_at(horizon.saturating_sub(Time::from_ps(h / 2)), 7_000 + i as u32);
+            heap.schedule_at(horizon.saturating_sub(Time::from_ps(h / 2)), 7_000 + i as u32);
+            wheel.schedule(Time::from_ps(h), 8_000 + i as u32);
+            heap.schedule(Time::from_ps(h), 8_000 + i as u32);
+        }
+        let a = wheel.run(Time::MAX, BUDGET);
+        let b = heap.run(Time::MAX, BUDGET);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(&wheel.world.log, &heap.world.log);
+        prop_assert_eq!(wheel.pending(), heap.pending());
+    }
+
+    /// Single-step lockstep: `step()` must deliver identical events in
+    /// identical order, with `pending()` agreeing after every single
+    /// delivery (this pins cascade bookkeeping exactly, not just at run
+    /// boundaries).
+    #[test]
+    fn wheel_matches_heap_per_step(
+        script in script_strategy(),
+        seeds in vec((delay_strategy(), 0u32..1000), 1..8),
+    ) {
+        let mut wheel = Simulation::new(Scripted::new(script.clone()));
+        let mut heap = HeapSimulation::new(Scripted::new(script));
+        for &(delay, id) in &seeds {
+            wheel.schedule(Time::from_ps(delay), id);
+            heap.schedule(Time::from_ps(delay), id);
+        }
+        for _ in 0..BUDGET {
+            let a = wheel.step();
+            let b = heap.step();
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(wheel.world.log.last(), heap.world.log.last());
+            prop_assert_eq!(wheel.now(), heap.now());
+            prop_assert_eq!(wheel.pending(), heap.pending());
+            if !a {
+                break;
+            }
+        }
+    }
+}
+
+/// Non-property edge cases that the random scripts are unlikely to pin
+/// precisely.
+#[test]
+fn horizon_at_time_max_runs_to_idle() {
+    struct Chain;
+    impl World for Chain {
+        type Msg = u32;
+        fn deliver(&mut self, _: Time, n: u32, sched: &mut Scheduler<u32>) {
+            if n > 0 {
+                // ~70 s hops: every hop crosses the wheel horizon.
+                sched.after(Time::from_secs(70), n - 1);
+            }
+        }
+    }
+    let mut sim = Simulation::new(Chain);
+    sim.schedule(Time::ZERO, 10);
+    assert_eq!(sim.run(Time::MAX, u64::MAX), RunOutcome::Idle);
+    assert_eq!(sim.now(), Time::from_secs(700));
+    assert_eq!(sim.events_delivered(), 11);
+}
+
+#[test]
+fn event_at_time_max_not_cut_off_by_max_horizon() {
+    struct Sink(Vec<Time>);
+    impl World for Sink {
+        type Msg = ();
+        fn deliver(&mut self, now: Time, _: (), _: &mut Scheduler<()>) {
+            self.0.push(now);
+        }
+    }
+    let mut sim = Simulation::new(Sink(Vec::new()));
+    sim.schedule_at(Time::MAX, ());
+    assert_eq!(sim.run(Time::MAX, u64::MAX), RunOutcome::Idle);
+    assert_eq!(sim.world.0, vec![Time::MAX]);
+}
