@@ -1,0 +1,193 @@
+//! Criterion bench for the **metrics hot path** — the cost every
+//! instrumented call site pays when no session is installed, which is
+//! the cost every ordinary (unmetered) run pays for carrying the
+//! observability hooks at all.
+//!
+//! Three views:
+//!
+//! * `disabled/*` — `counter_add`/`gauge_set`/`hist_record` and the
+//!   engine's per-event `sample_pending` with no session installed.
+//!   Each must cost essentially one thread-local load and branch; the
+//!   floor check below asserts it against exactly that baseline.
+//! * `enabled/*` — the same updates against a live session, for scale
+//!   (a registry hash lookup plus an i64 update).
+//! * `world/*` — an E19 MQ world run unmetered vs metered, the
+//!   end-to-end overhead a `repro -- metrics` user actually pays.
+//!
+//! The assertion: the disabled update path may cost at most
+//! `DISABLED_OVERHEAD_CEILING` times the bare `is_enabled()`
+//! thread-local load (floor measured the same way, same best-of-K wall
+//! clock). A regression that adds work ahead of the enabled check —
+//! formatting, hashing, a second TLS access — blows well past that
+//! ratio and fails loudly. The ceiling is set generously above the
+//! measured ~1.0–1.5× so CI never flakes.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use virtio_fpga::{metered, run_mq, DriverKind, TestbedConfig};
+
+const OPS: u64 = 1_000_000;
+
+/// Best-of-5 wall-clock seconds for `OPS` iterations of `f`.
+fn best_of<F: FnMut()>(mut f: F) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for _ in 0..OPS {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_disabled(c: &mut Criterion) {
+    assert!(!vf_metrics::is_enabled());
+    let mut group = c.benchmark_group("metrics_disabled");
+    group.throughput(Throughput::Elements(OPS));
+    group.bench_function("counter_add", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                vf_metrics::counter_add("bench.disabled.ctr", 0, black_box(i));
+            }
+        })
+    });
+    group.bench_function("gauge_set", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                vf_metrics::gauge_set("bench.disabled.g", 0, black_box(i as i64));
+            }
+        })
+    });
+    group.bench_function("hist_record", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                vf_metrics::hist_record("bench.disabled.h", 0, black_box(i));
+            }
+        })
+    });
+    group.bench_function("sample_pending", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..OPS {
+                hits += vf_metrics::sample_pending(black_box(i)) as u64;
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_enabled");
+    group.throughput(Throughput::Elements(OPS));
+    group.bench_function("counter_add", |b| {
+        b.iter(|| {
+            let ((), report) = metered(vf_metrics::MetricsConfig::default(), || {
+                for i in 0..OPS {
+                    vf_metrics::counter_add("bench.enabled.ctr", 0, black_box(i & 1));
+                }
+            });
+            report.counter_total("bench.enabled.ctr")
+        })
+    });
+    group.bench_function("hist_record", |b| {
+        b.iter(|| {
+            let ((), report) = metered(vf_metrics::MetricsConfig::default(), || {
+                for i in 0..OPS {
+                    vf_metrics::hist_record("bench.enabled.h", 0, black_box(i));
+                }
+            });
+            report.instruments.len()
+        })
+    });
+    group.finish();
+}
+
+const PACKETS: usize = 200;
+
+fn bench_world_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_world");
+    group.throughput(Throughput::Elements(PACKETS as u64));
+    group.bench_function("e19_mq4_unmetered", |b| {
+        let mut seed = 1_700u64;
+        b.iter(|| {
+            seed += 1;
+            let mut cfg = TestbedConfig::paper(DriverKind::VirtioMq, 256, PACKETS, seed);
+            cfg.options.mq_queue_pairs = 4;
+            let r = run_mq(&cfg, 16);
+            assert_eq!(r.verify_failures, 0);
+            r.pps
+        });
+    });
+    group.bench_function("e19_mq4_metered", |b| {
+        let mut seed = 1_700u64;
+        b.iter(|| {
+            seed += 1;
+            let mut cfg = TestbedConfig::paper(DriverKind::VirtioMq, 256, PACKETS, seed);
+            cfg.options.mq_queue_pairs = 4;
+            let (r, report) = metered(vf_metrics::MetricsConfig::default(), || run_mq(&cfg, 16));
+            assert_eq!(r.verify_failures, 0);
+            assert!(report.violations.is_empty());
+            r.pps
+        });
+    });
+    group.finish();
+}
+
+/// Ceiling on `disabled update time / bare thread-local load time`.
+/// A correct implementation is the same load plus an early return, so
+/// the true ratio sits near 1; anything above the ceiling means work
+/// crept in ahead of the enabled check.
+const DISABLED_OVERHEAD_CEILING: f64 = 4.0;
+
+fn bench_disabled_floor(_c: &mut Criterion) {
+    assert!(!vf_metrics::is_enabled());
+    let baseline = best_of(|| {
+        black_box(vf_metrics::is_enabled());
+    });
+    let cases: [(&str, f64); 4] = [
+        (
+            "counter_add",
+            best_of(|| vf_metrics::counter_add("bench.floor.ctr", 0, black_box(1))),
+        ),
+        (
+            "gauge_set",
+            best_of(|| vf_metrics::gauge_set("bench.floor.g", 0, black_box(1))),
+        ),
+        (
+            "hist_record",
+            best_of(|| vf_metrics::hist_record("bench.floor.h", 0, black_box(1))),
+        ),
+        (
+            "sample_pending",
+            best_of(|| {
+                black_box(vf_metrics::sample_pending(black_box(1)));
+            }),
+        ),
+    ];
+    let per_op = |s: f64| s * 1e9 / OPS as f64;
+    for (label, secs) in cases {
+        let ratio = secs / baseline;
+        println!(
+            "metrics_overhead/{label:<16} disabled {:>6.2} ns/op vs bare TLS load {:>6.2} ns/op -> {ratio:.2}x",
+            per_op(secs),
+            per_op(baseline),
+        );
+        assert!(
+            ratio <= DISABLED_OVERHEAD_CEILING,
+            "disabled {label} costs {ratio:.2}x a bare thread-local load \
+             (ceiling {DISABLED_OVERHEAD_CEILING}x): work crept ahead of the enabled check"
+        );
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_disabled,
+    bench_enabled,
+    bench_world_overhead,
+    bench_disabled_floor
+);
+criterion_main!(benches);

@@ -23,6 +23,7 @@
 //!   tenants                        E21 multi-tenant vhost multiplexing + noisy neighbor
 //!   all                            everything above
 //!   trace                          E18 cross-layer span trace + Perfetto export
+//!   metrics                        E23 sampled metrics + watchdogs (mq/ooo/tenants)
 //! ```
 //!
 //! With `--quick`, runs use 2 000 packets instead of the paper's 50 000.
@@ -36,6 +37,13 @@
 //! `--trace FILE` additionally captures a trace of any *other* artifact
 //! run: it forces sweeps onto one thread (tracing is per-thread) and
 //! dumps everything those runs emitted to FILE on exit.
+//!
+//! The `metrics` artifact runs one metered MQ, one out-of-order, and
+//! one multi-tenant world with the 10 µs sampler on, prints each
+//! world's per-layer utilization/backlog report, asserts all four
+//! invariant watchdogs stayed quiet, and writes the full time-series
+//! as JSON to `--out FILE` (default `metrics.json`); `--csv DIR` adds
+//! one long-format CSV per world.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -266,6 +274,12 @@ fn main() {
                     .unwrap_or_else(|| PathBuf::from("trace.json"));
                 run_trace_artifact(&out, packets.min(50), seed);
             }
+            "metrics" => {
+                let out = out_path
+                    .clone()
+                    .unwrap_or_else(|| PathBuf::from("metrics.json"));
+                run_metrics_artifact(&out, csv_dir.as_deref(), packets.min(2_000), seed);
+            }
             other => {
                 eprintln!("unknown artifact: {other}");
                 print_usage();
@@ -285,12 +299,27 @@ fn main() {
     }
 }
 
+/// Adapt a metrics report's sampled series into Perfetto counter
+/// tracks (histograms have no series and are skipped).
+fn counter_tracks(report: &vf_metrics::MetricsReport) -> Vec<vf_trace::CounterTrack> {
+    report
+        .instruments
+        .iter()
+        .filter(|i| !i.series.is_empty())
+        .map(|i| vf_trace::CounterTrack {
+            name: format!("{}[{}]", i.name, i.index),
+            points: i.series.clone(),
+        })
+        .collect()
+}
+
 /// The E18 trace artifact: run a short traced batch per driver model,
 /// print the per-round-trip latency attribution, assert the spans
 /// reconcile with the recorder, and export one Perfetto track per
-/// driver to `out`.
+/// driver to `out`. Each run is also metered, so every track carries
+/// the sampler's counter series alongside its spans.
 fn run_trace_artifact(out: &PathBuf, packets: usize, seed: u64) {
-    use virtio_fpga::{reconcile, traced_run, TestbedConfig};
+    use virtio_fpga::{metered, reconcile, traced_run, TestbedConfig};
 
     let drivers = [
         DriverKind::Virtio,
@@ -298,11 +327,16 @@ fn run_trace_artifact(out: &PathBuf, packets: usize, seed: u64) {
         DriverKind::Xdma,
         DriverKind::VirtioPmd,
     ];
-    let mut tracks: Vec<(&str, Vec<vf_trace::TraceEvent>)> = Vec::new();
+    type Track = (
+        &'static str,
+        Vec<vf_trace::TraceEvent>,
+        Vec<vf_trace::CounterTrack>,
+    );
+    let mut tracks: Vec<Track> = Vec::new();
     println!("E18 — cross-layer latency attribution (payload 256 B, {packets} round trips/driver)");
     for (i, driver) in drivers.into_iter().enumerate() {
         let cfg = TestbedConfig::paper(driver, 256, packets, seed.wrapping_add(i as u64));
-        let run = traced_run(&cfg);
+        let (run, metrics) = metered(vf_metrics::MetricsConfig::default(), || traced_run(&cfg));
         let rtts = run.breakdowns();
         reconcile(&run.result, &rtts)
             .unwrap_or_else(|e| panic!("{} trace fails reconciliation: {e}", driver.name()));
@@ -313,7 +347,7 @@ fn run_trace_artifact(out: &PathBuf, packets: usize, seed: u64) {
             rtts.len().min(5)
         );
         print!("{}", vf_trace::render_table(&rtts[..rtts.len().min(5)]));
-        tracks.push((driver.name(), run.events));
+        tracks.push((driver.name(), run.events, counter_tracks(&metrics)));
     }
 
     // E19 multi-queue: one Perfetto track per queue pair. The serial MQ
@@ -323,7 +357,7 @@ fn run_trace_artifact(out: &PathBuf, packets: usize, seed: u64) {
     // trip carry no queue identity and are left out of the export.
     let mut mq_cfg = TestbedConfig::paper(DriverKind::VirtioMq, 256, packets, seed.wrapping_add(4));
     mq_cfg.options.mq_queue_pairs = 2;
-    let run = traced_run(&mq_cfg);
+    let (run, mq_metrics) = metered(vf_metrics::MetricsConfig::default(), || traced_run(&mq_cfg));
     let rtts = run.breakdowns();
     reconcile(&run.result, &rtts)
         .unwrap_or_else(|e| panic!("VirtIO-MQ trace fails reconciliation: {e}"));
@@ -343,8 +377,13 @@ fn run_trace_artifact(out: &PathBuf, packets: usize, seed: u64) {
             }
         }
     }
-    tracks.push(("VirtIO-MQ q0", per_queue.remove(0)));
-    tracks.push(("VirtIO-MQ q1", per_queue.remove(0)));
+    // Counter series are per-run, not per-window: q0 carries them all.
+    tracks.push((
+        "VirtIO-MQ q0",
+        per_queue.remove(0),
+        counter_tracks(&mq_metrics),
+    ));
+    tracks.push(("VirtIO-MQ q1", per_queue.remove(0), Vec::new()));
 
     // E21 multi-tenant: one Perfetto track per tenant, vhost backend
     // on. Same window argument as the MQ export — the serial tenant
@@ -354,7 +393,9 @@ fn run_trace_artifact(out: &PathBuf, packets: usize, seed: u64) {
         TestbedConfig::paper(DriverKind::VirtioTenant, 256, packets, seed.wrapping_add(5));
     tnt_cfg.options.mq_queue_pairs = 2;
     tnt_cfg.options.tenant_vhost = true;
-    let run = traced_run(&tnt_cfg);
+    let (run, tnt_metrics) = metered(vf_metrics::MetricsConfig::default(), || {
+        traced_run(&tnt_cfg)
+    });
     let rtts = run.breakdowns();
     reconcile(&run.result, &rtts)
         .unwrap_or_else(|e| panic!("VirtIO-TNT trace fails reconciliation: {e}"));
@@ -374,18 +415,116 @@ fn run_trace_artifact(out: &PathBuf, packets: usize, seed: u64) {
             }
         }
     }
-    tracks.push(("VirtIO-TNT t0", per_tenant.remove(0)));
-    tracks.push(("VirtIO-TNT t1", per_tenant.remove(0)));
+    tracks.push((
+        "VirtIO-TNT t0",
+        per_tenant.remove(0),
+        counter_tracks(&tnt_metrics),
+    ));
+    tracks.push(("VirtIO-TNT t1", per_tenant.remove(0), Vec::new()));
 
-    let refs: Vec<(&str, &[vf_trace::TraceEvent])> =
-        tracks.iter().map(|(n, e)| (*n, e.as_slice())).collect();
-    std::fs::write(out, vf_trace::chrome_trace_json_multi(&refs)).expect("writing trace JSON");
+    let refs: Vec<(&str, &[vf_trace::TraceEvent], &[vf_trace::CounterTrack])> = tracks
+        .iter()
+        .map(|(n, e, c)| (*n, e.as_slice(), c.as_slice()))
+        .collect();
+    let counters: usize = tracks.iter().map(|(_, _, c)| c.len()).sum();
+    std::fs::write(out, vf_trace::chrome_trace_json_full(&refs)).expect("writing trace JSON");
     println!();
     println!(
-        "Perfetto trace ({} tracks) written to {} — load it at https://ui.perfetto.dev",
+        "Perfetto trace ({} tracks, {} counter series) written to {} — load it at https://ui.perfetto.dev",
         refs.len(),
+        counters,
         out.display()
     );
+}
+
+/// A named world for the metrics artifact: runs to completion and
+/// returns its verify-failure count.
+type MeteredWorld<'a> = (&'a str, Box<dyn FnOnce() -> u64>);
+
+/// The E23 metrics artifact: run one metered MQ world, one metered
+/// out-of-order world, and one metered multi-tenant world (all healthy
+/// by construction), print each world's per-layer report, assert every
+/// watchdog stayed quiet, and export the sampled series as JSON/CSV.
+fn run_metrics_artifact(
+    out: &PathBuf,
+    csv_dir: Option<&std::path::Path>,
+    packets: usize,
+    seed: u64,
+) {
+    use virtio_fpga::experiments::MQ_SWEEP_DEPTH;
+    use virtio_fpga::{metered, run_mq, run_tenants, TestbedConfig};
+
+    println!("E23 — sampled per-layer metrics + invariant watchdogs ({packets} packets/world)");
+    let worlds: [MeteredWorld; 3] = [
+        (
+            "mq",
+            Box::new(move || {
+                let mut cfg = TestbedConfig::paper(DriverKind::VirtioMq, 256, packets, seed);
+                cfg.options.mq_queue_pairs = 4;
+                run_mq(&cfg, MQ_SWEEP_DEPTH).verify_failures
+            }),
+        ),
+        (
+            "ooo",
+            Box::new(move || {
+                let mut cfg =
+                    TestbedConfig::paper(DriverKind::VirtioMq, 256, packets, seed.wrapping_add(1));
+                cfg.options.mq_queue_pairs = 4;
+                cfg.options.pipeline_depth = 4;
+                run_mq(&cfg, MQ_SWEEP_DEPTH).verify_failures
+            }),
+        ),
+        (
+            "tenants",
+            Box::new(move || {
+                let mut cfg = TestbedConfig::paper(
+                    DriverKind::VirtioTenant,
+                    256,
+                    packets,
+                    seed.wrapping_add(2),
+                );
+                cfg.options.mq_queue_pairs = 4;
+                cfg.options.tenant_vhost = true;
+                cfg.options.tenant_policy = virtio_fpga::ArbiterPolicy::WeightedShare;
+                run_tenants(&cfg, MQ_SWEEP_DEPTH).verify_failures
+            }),
+        ),
+    ];
+
+    let mut json = String::from("{");
+    for (i, (name, world)) in worlds.into_iter().enumerate() {
+        let (verify_failures, report) = metered(vf_metrics::MetricsConfig::default(), world);
+        assert_eq!(verify_failures, 0, "{name}: payload verification failed");
+        let mut required = vec!["pcie", "virtio", "fpga", "sim"];
+        if name == "tenants" {
+            required.push("tenant");
+        }
+        report
+            .validate(&required)
+            .unwrap_or_else(|e| panic!("{name}: metrics schema invalid: {e}"));
+        assert!(
+            report.violations.is_empty(),
+            "{name}: watchdogs flagged a healthy world: {:?}",
+            report.violations
+        );
+        println!();
+        print!("{}", report.render(name));
+        println!("watchdogs: quiet ({} samples)", report.samples);
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("\"{name}\":{}", report.to_json()));
+        if let Some(dir) = csv_dir {
+            std::fs::create_dir_all(dir).expect("creating CSV dir");
+            let path = dir.join(format!("metrics_{name}.csv"));
+            std::fs::write(&path, report.to_csv()).expect("writing metrics CSV");
+            println!("series CSV written to {}", path.display());
+        }
+    }
+    json.push('}');
+    std::fs::write(out, json).expect("writing metrics JSON");
+    println!();
+    println!("metrics time-series JSON written to {}", out.display());
 }
 
 /// Dump the measurement matrix as CSV: one summaries file plus one raw
@@ -450,6 +589,6 @@ fn print_usage() {
          artifacts: fig3 fig4 fig5 table1 portability xdma-irq-ablation\n\
          \u{20}          virtio-features bypass devtypes csum-offload noise-sweep\n\
          \u{20}          pipeline deployment card-memory pmd pmd-crossover packed\n\
-         \u{20}          mq ooo tenants trace all"
+         \u{20}          mq ooo tenants trace metrics all"
     );
 }

@@ -37,6 +37,7 @@
 pub mod calibration;
 pub mod driver_model;
 pub mod experiments;
+pub mod metered;
 pub mod mq;
 pub mod pipeline;
 pub mod pmd;
@@ -47,6 +48,7 @@ pub mod traced;
 
 pub use calibration::Calibration;
 pub use driver_model::{run_world, DriverModel, RoundTripRecorder, RunStats};
+pub use metered::{metered, metered_run, metered_run_with, MeteredRun};
 pub use mq::{run_mq, MqThroughputResult, MAX_QUEUE_PAIRS};
 pub use pipeline::{run_pipelined, xdma_serial_pps, ThroughputResult};
 pub use pmd::{run_pmd, PmdRun};
@@ -54,6 +56,7 @@ pub use report::{render_breakdown, render_table1, RunResult};
 pub use tenant::{run_tenants, TenantThroughputResult};
 pub use testbed::{DriverKind, RssMode, Testbed, TestbedConfig, TestbedOptions};
 pub use traced::{reconcile, traced_run, TracedRun};
+pub use vf_tenant::ArbiterPolicy;
 
 /// The payload sizes of the paper's evaluation (§V).
 pub const PAPER_PAYLOADS: [usize; 5] = [64, 128, 256, 512, 1024];

@@ -470,14 +470,21 @@ impl VirtioFpgaDevice {
                         let negotiated = self.common.negotiation.negotiated();
                         let regs = self.common.queue(n);
                         if negotiated & feature::RING_PACKED != 0 {
-                            self.packed_queues[n as usize] =
-                                Some(PackedDeviceQueue::new(regs.desc, regs.size));
+                            let mut q = PackedDeviceQueue::new(regs.desc, regs.size);
+                            q.set_metrics_index(n as u32);
+                            self.packed_queues[n as usize] = Some(q);
                             self.queues[n as usize] = None;
                         } else {
                             let event_idx = negotiated & feature::RING_EVENT_IDX != 0;
                             let indirect = negotiated & feature::RING_INDIRECT_DESC != 0;
-                            self.queues[n as usize] =
-                                Some(DeviceQueue::new(regs.layout(), event_idx, indirect));
+                            let mut q = DeviceQueue::new(regs.layout(), event_idx, indirect);
+                            // Odd queues are the host-driven transmitqs
+                            // in this controller's net/console personas
+                            // (`tx_queue_of_pair`); even rings are
+                            // pre-posted (RX, control) and must not arm
+                            // the stall watchdog while idle.
+                            q.set_metrics_index(n as u32, n % 2 == 1);
+                            self.queues[n as usize] = Some(q);
                             self.packed_queues[n as usize] = None;
                         }
                         Some(MmioEvent::QueueEnabled(n))
@@ -757,6 +764,11 @@ impl VirtioFpgaDevice {
                 );
                 prefetched += 1;
             }
+            if vf_metrics::is_enabled() {
+                let d = (prefetched - k) as u64;
+                vf_metrics::gauge_set("fpga.walker.depth", tx_queue as u32, d as i64);
+                vf_metrics::hist_record("fpga.walker.depth_hist", tx_queue as u32, d);
+            }
             let (chain, fetches) = &chains[k];
             // Payload DMA starts once this chain's descriptors are
             // parsed and the (single) payload datapath is free.
@@ -813,6 +825,9 @@ impl VirtioFpgaDevice {
             .stats
             .walker_peak_inflight
             .max(link.np_peak_in_flight() as u64);
+        if vf_metrics::is_enabled() && n > 0 {
+            vf_metrics::gauge_set("fpga.walker.depth", tx_queue as u32, 0);
+        }
         self.counters.h2c.stop(t);
 
         t = self.user_logic_pass(t, staged, csum_feature, &mut outcome);
@@ -1039,6 +1054,11 @@ impl VirtioFpgaDevice {
                 );
                 prefetched += 1;
             }
+            if vf_metrics::is_enabled() {
+                let d = (prefetched - k) as u64;
+                vf_metrics::gauge_set("fpga.walker.depth", tx_queue as u32, d as i64);
+                vf_metrics::hist_record("fpga.walker.depth_hist", tx_queue as u32, d);
+            }
             let (used_addr, chain) = &chains[k];
             let mut ct = (desc_done[k] + timing.per_desc * chain.bufs.len() as u64).max(t);
             let mut data = Vec::new();
@@ -1087,6 +1107,9 @@ impl VirtioFpgaDevice {
             .stats
             .walker_peak_inflight
             .max(link.np_peak_in_flight() as u64);
+        if vf_metrics::is_enabled() && n > 0 {
+            vf_metrics::gauge_set("fpga.walker.depth", tx_queue as u32, 0);
+        }
         self.counters.h2c.stop(t);
 
         t = self.user_logic_pass(t, staged, csum_feature, &mut outcome);

@@ -31,6 +31,19 @@ impl PerfCounter {
         self.started_at.is_some()
     }
 
+    /// Non-consuming read of the interval a later [`Self::stop`] at `t`
+    /// would capture. The counter stays armed — a free-running hardware
+    /// counter can be sampled mid-interval without disturbing the
+    /// eventual read, and the observability layer relies on that to poll
+    /// in-flight phases between events. Returns `None` if not armed.
+    pub fn peek(&self, t: Time) -> Option<Time> {
+        let start = self.started_at?;
+        Some(
+            t.quantize(FPGA_CYCLE)
+                .saturating_sub(start.quantize(FPGA_CYCLE)),
+        )
+    }
+
     /// Capture the interval from arm to `t`, quantized to fabric cycles
     /// (each endpoint is sampled on a cycle edge, so the measured value
     /// is the difference of the two quantized timestamps). Returns
@@ -61,6 +74,32 @@ pub struct IntervalStats {
     name: Option<&'static str>,
 }
 
+/// A non-consuming view of an [`IntervalStats`] taken mid-run: the
+/// aggregate so far plus whatever interval is currently in flight. The
+/// underlying counter is untouched, so a later `stop` captures exactly
+/// what it would have without the snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntervalSnapshot {
+    /// Captured intervals folded into the aggregate so far.
+    pub count: u64,
+    /// Last captured interval.
+    pub last: Time,
+    /// If armed, the interval a `stop` at the snapshot instant would
+    /// have measured.
+    pub in_flight: Option<Time>,
+}
+
+/// Map a named hardware counter to its vf-metrics instrument index so
+/// the three round-trip phases land on distinct series.
+fn engine_metric_index(name: &'static str) -> Option<u32> {
+    match name {
+        "hw_h2c" => Some(0),
+        "hw_c2h" => Some(1),
+        "device_proc" => Some(2),
+        _ => None,
+    }
+}
+
 impl IntervalStats {
     /// A counter whose captures are traced under `name`.
     pub fn named(name: &'static str) -> Self {
@@ -73,6 +112,22 @@ impl IntervalStats {
     /// Arm at `t`.
     pub fn start(&mut self, t: Time) {
         self.counter.start(t);
+        if vf_metrics::is_enabled() {
+            if let Some(idx) = self.name.and_then(engine_metric_index) {
+                vf_metrics::gauge_set("fpga.engine.busy", idx, 1);
+            }
+        }
+    }
+
+    /// Snapshot the aggregate and any in-flight interval at `t` without
+    /// consuming the armed counter (regression-tested: stop-after-
+    /// snapshot equals stop-alone).
+    pub fn snapshot(&self, t: Time) -> IntervalSnapshot {
+        IntervalSnapshot {
+            count: self.stats.count(),
+            last: self.last,
+            in_flight: self.counter.peek(t),
+        }
     }
 
     /// Capture at `t`, folding into the aggregate; returns the interval.
@@ -85,6 +140,13 @@ impl IntervalStats {
         };
         self.stats.add_time(interval);
         self.last = interval;
+        if vf_metrics::is_enabled() {
+            if let Some(idx) = self.name.and_then(engine_metric_index) {
+                vf_metrics::gauge_set("fpga.engine.busy", idx, 0);
+                vf_metrics::counter_add("fpga.engine.captures", idx, 1);
+                vf_metrics::hist_record("fpga.engine.interval_ps", idx, interval.as_ps());
+            }
+        }
         if let Some(name) = self.name {
             // The counter samples both endpoints on cycle edges; the span
             // [t_q - interval, t_q] is exactly the measured window.
@@ -210,6 +272,38 @@ mod tests {
         assert_eq!(evs[0].layer, vf_trace::Layer::Device);
         assert_eq!(evs[0].name, "hw_h2c");
         assert_eq!(evs[0].dur(), s.last);
+    }
+
+    #[test]
+    fn snapshot_does_not_consume_the_armed_counter() {
+        // Regression for the observability layer: polling an in-flight
+        // phase mid-interval must not change what stop() captures.
+        let mut observed = IntervalStats::named("hw_h2c");
+        let mut control = IntervalStats::named("hw_h2c");
+        for stats in [&mut observed, &mut control] {
+            stats.start(Time::from_ns(100));
+        }
+        let snap = observed.snapshot(Time::from_ns(500));
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.in_flight, Some(Time::from_ns(400)));
+        // Repeated snapshots are idempotent.
+        assert_eq!(observed.snapshot(Time::from_ns(500)), snap);
+        let a = observed.stop(Time::from_ns(900));
+        let b = control.stop(Time::from_ns(900));
+        assert_eq!(a, b);
+        assert_eq!(observed.count(), control.count());
+        assert_eq!(observed.last, control.last);
+        // After the capture, nothing is in flight.
+        let done = observed.snapshot(Time::from_ns(1000));
+        assert_eq!(done.count, 1);
+        assert_eq!(done.in_flight, None);
+        assert_eq!(done.last, a);
+    }
+
+    #[test]
+    fn peek_on_unarmed_counter_is_none() {
+        let c = PerfCounter::default();
+        assert_eq!(c.peek(Time::from_ns(8)), None);
     }
 
     #[test]

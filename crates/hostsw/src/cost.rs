@@ -238,6 +238,10 @@ impl CostEngine {
             + self.step(self.costs.hardirq_entry)
             + self.step(self.costs.softirq_latency);
         vf_trace::advance(vf_trace::Layer::Irq, "irq_to_napi", d, 0);
+        if vf_metrics::is_enabled() {
+            vf_metrics::counter_add("hostsw.irq.count", 0, 1);
+            vf_metrics::hist_record("hostsw.irq.entry_ps", 0, d.as_ps());
+        }
         d
     }
 
@@ -247,6 +251,10 @@ impl CostEngine {
     pub fn irq_entry(&mut self) -> Time {
         let d = self.blocking_extra() + self.step(self.costs.hardirq_entry);
         vf_trace::advance(vf_trace::Layer::Irq, "irq_entry", d, 0);
+        if vf_metrics::is_enabled() {
+            vf_metrics::counter_add("hostsw.irq.count", 0, 1);
+            vf_metrics::hist_record("hostsw.irq.entry_ps", 0, d.as_ps());
+        }
         d
     }
 
@@ -258,6 +266,10 @@ impl CostEngine {
             + self.step(self.costs.hardirq_entry)
             + self.step(self.costs.wakeup_to_run);
         vf_trace::advance(vf_trace::Layer::Irq, "irq_wake", d, 0);
+        if vf_metrics::is_enabled() {
+            vf_metrics::counter_add("hostsw.irq.count", 0, 1);
+            vf_metrics::hist_record("hostsw.irq.entry_ps", 0, d.as_ps());
+        }
         d
     }
 
@@ -266,6 +278,7 @@ impl CostEngine {
     pub fn block_in_syscall(&mut self) -> Time {
         let d = self.step(self.costs.syscall_entry) + self.step(self.costs.block_schedule);
         vf_trace::advance(vf_trace::Layer::Syscall, "block_in_syscall", d, 0);
+        vf_metrics::counter_add("hostsw.syscall.blocks", 0, 1);
         d
     }
 

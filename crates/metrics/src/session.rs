@@ -1,0 +1,726 @@
+//! The thread-local metrics session: instrument registry, update API,
+//! sim-time sampler, and invariant watchdogs.
+//!
+//! All update functions are no-ops unless a session is [`install`]ed on
+//! the calling thread, and the disabled path is a single thread-local
+//! load — the zero-cost-when-disabled guarantee (asserted by the
+//! `metrics_overhead` bench). None of them draw randomness or mutate
+//! simulated time, so metering can never perturb a run.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use crate::hist::LogLinearHist;
+use crate::report::{InstrumentReport, MetricsReport};
+use crate::{Kind, Violation, Watchdog};
+
+/// Instrument names the watchdogs key on. Instrumented crates use these
+/// constants so a rename cannot silently disarm a watchdog.
+pub mod names {
+    /// Posted-header credits granted since start, per DMA tag (counter).
+    pub const POSTED_GRANTED: &str = "pcie.posted.granted";
+    /// Posted-header credits retired since start, per DMA tag (counter).
+    pub const POSTED_RELEASED: &str = "pcie.posted.released";
+    /// Posted-header credits currently held, per DMA tag (gauge).
+    pub const POSTED_INFLIGHT: &str = "pcie.posted.inflight";
+    /// Non-posted reads in flight, per DMA tag (gauge).
+    pub const NP_INFLIGHT: &str = "pcie.np.inflight";
+    /// Configured non-posted window, per DMA tag (gauge).
+    pub const NP_WINDOW: &str = "pcie.np.window";
+    /// Avail-ring entries the device has not yet consumed, per queue
+    /// (gauge).
+    pub const QUEUE_BACKLOG: &str = "virtio.queue.avail_backlog";
+    /// Chains completed into the used ring, per queue (counter).
+    pub const QUEUE_USED: &str = "virtio.queue.used";
+    /// Active arbiter policy, index 0 (gauge; see `POLICY_*`).
+    pub const ARBITER_POLICY: &str = "tenant.arbiter.policy";
+    /// Requests queued at the arbiter, per tenant (gauge).
+    pub const ARBITER_PENDING: &str = "tenant.arbiter.pending";
+    /// Grants issued, per tenant (counter).
+    pub const ARBITER_GRANTS: &str = "tenant.arbiter.grants";
+    /// `ARBITER_POLICY` value for round-robin.
+    pub const POLICY_RR: i64 = 0;
+    /// `ARBITER_POLICY` value for weighted fair queueing.
+    pub const POLICY_WFQ: i64 = 1;
+    /// `ARBITER_POLICY` value for strict priority.
+    pub const POLICY_STRICT: i64 = 2;
+}
+
+/// Sampler and watchdog configuration for one session.
+#[derive(Debug, Clone)]
+pub struct MetricsConfig {
+    /// Sampling interval in picoseconds (default 10 µs). Samples fire
+    /// at every multiple of this, driven by the engine.
+    pub interval_ps: u64,
+    /// Queue-stall watchdog threshold: consecutive samples with nonzero
+    /// backlog and no used-ring progress before flagging.
+    pub stall_samples: u32,
+    /// Fairness watchdog threshold: consecutive samples a queued tenant
+    /// may go grant-less (while others are granted) under WFQ.
+    pub fairness_samples: u32,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        MetricsConfig {
+            interval_ps: 10_000_000, // 10 µs
+            // 100 samples at the default interval is 1 ms of sim time —
+            // two orders above any healthy per-packet latency in the
+            // reproduced worlds, so a trip means genuinely no progress.
+            stall_samples: 100,
+            fairness_samples: 100,
+        }
+    }
+}
+
+/// One registered instrument and its live state.
+struct Instrument {
+    name: &'static str,
+    index: u32,
+    kind: Kind,
+    /// Counter total or gauge level (counters stay non-negative).
+    value: i64,
+    hist: Option<LogLinearHist>,
+    /// Sampled `(t_ps, value)` points (counters and gauges only).
+    series: Vec<(u64, i64)>,
+}
+
+/// Progress tracker for the stall/fairness watchdogs: counts consecutive
+/// samples a progress counter stood still while the watched condition
+/// held.
+#[derive(Default)]
+struct ProgressWatch {
+    last_progress: i64,
+    stuck: u32,
+    /// Set once the episode is reported, so one stall yields one
+    /// violation instead of one per subsequent sample.
+    flagged: bool,
+}
+
+struct Session {
+    cfg: MetricsConfig,
+    instruments: Vec<Instrument>,
+    by_key: HashMap<(&'static str, u32), u32>,
+    next_due: u64,
+    samples: u64,
+    violations: Vec<Violation>,
+    /// Stall state keyed by the backlog instrument's slot.
+    stall: HashMap<u32, ProgressWatch>,
+    /// Fairness state keyed by the pending-gauge instrument's slot.
+    fair: HashMap<u32, ProgressWatch>,
+    last_total_grants: i64,
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    /// Next sample boundary in ps; `u64::MAX` when no session is
+    /// installed, so the engine's per-event due check is one load and
+    /// one compare with no separate enabled test.
+    static NEXT_DUE: Cell<u64> = const { Cell::new(u64::MAX) };
+    static SESSION: RefCell<Option<Session>> = const { RefCell::new(None) };
+}
+
+/// True if a session is installed on this thread. The fast path every
+/// update helper checks first.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Install a metrics session on this thread, enabling instrument
+/// updates and sampling. Panics if one is already active (sessions do
+/// not nest).
+pub fn install(cfg: MetricsConfig) {
+    assert!(cfg.interval_ps > 0, "sampling interval must be nonzero");
+    SESSION.with(|s| {
+        let mut s = s.borrow_mut();
+        assert!(s.is_none(), "a metrics session is already installed");
+        NEXT_DUE.with(|d| d.set(0));
+        *s = Some(Session {
+            cfg,
+            instruments: Vec::new(),
+            by_key: HashMap::new(),
+            next_due: 0,
+            samples: 0,
+            violations: Vec::new(),
+            stall: HashMap::new(),
+            fair: HashMap::new(),
+            last_total_grants: 0,
+        });
+    });
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Tear down the session without producing a report (used by panic
+/// guards). Returns true if one was installed.
+pub fn uninstall() -> bool {
+    ENABLED.with(|e| e.set(false));
+    NEXT_DUE.with(|d| d.set(u64::MAX));
+    SESSION.with(|s| s.borrow_mut().take()).is_some()
+}
+
+/// Tear down the session and return its report (empty when none was
+/// installed). Updates are disabled afterwards.
+pub fn finish() -> MetricsReport {
+    ENABLED.with(|e| e.set(false));
+    NEXT_DUE.with(|d| d.set(u64::MAX));
+    let session = SESSION.with(|s| s.borrow_mut().take());
+    let Some(session) = session else {
+        return MetricsReport::default();
+    };
+    MetricsReport {
+        interval_ps: session.cfg.interval_ps,
+        samples: session.samples,
+        instruments: session
+            .instruments
+            .into_iter()
+            .map(|i| InstrumentReport {
+                name: i.name,
+                index: i.index,
+                kind: i.kind,
+                last: i.value,
+                series: i.series,
+                histogram: i.hist,
+            })
+            .collect(),
+        violations: session.violations,
+    }
+}
+
+fn with_session<R>(f: impl FnOnce(&mut Session) -> R) -> Option<R> {
+    SESSION.with(|s| s.borrow_mut().as_mut().map(f))
+}
+
+impl Session {
+    /// Slot for `(name, index)`, registering it with `kind` on first
+    /// touch. Panics on a kind clash — that is a bug at the
+    /// instrumentation site, not a runtime condition.
+    fn slot(&mut self, name: &'static str, index: u32, kind: Kind) -> usize {
+        if let Some(&i) = self.by_key.get(&(name, index)) {
+            let inst = &self.instruments[i as usize];
+            assert!(
+                inst.kind == kind,
+                "instrument {name}[{index}] is a {}, touched as a {}",
+                inst.kind.name(),
+                kind.name()
+            );
+            return i as usize;
+        }
+        let i = u32::try_from(self.instruments.len()).expect("instrument registry full");
+        self.instruments.push(Instrument {
+            name,
+            index,
+            kind,
+            value: 0,
+            hist: (kind == Kind::Histogram).then(LogLinearHist::new),
+            series: Vec::new(),
+        });
+        self.by_key.insert((name, index), i);
+        i as usize
+    }
+
+    fn value_of(&self, name: &'static str, index: u32) -> Option<i64> {
+        self.by_key
+            .get(&(name, index))
+            .map(|&i| self.instruments[i as usize].value)
+    }
+}
+
+/// Add `delta` to counter `name[index]`, registering it on first touch.
+#[inline]
+pub fn counter_add(name: &'static str, index: u32, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_session(|s| {
+        let i = s.slot(name, index, Kind::Counter);
+        s.instruments[i].value = s.instruments[i].value.saturating_add(delta as i64);
+    });
+}
+
+/// Raise counter `name[index]` to `total` if that is higher — the form
+/// used by sources that keep their own running total (the timing wheel,
+/// device stat blocks). Never lowers the counter, so the exported
+/// series stays monotonic even if the source resets between runs.
+#[inline]
+pub fn counter_set_total(name: &'static str, index: u32, total: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_session(|s| {
+        let i = s.slot(name, index, Kind::Counter);
+        s.instruments[i].value = s.instruments[i].value.max(total as i64);
+    });
+}
+
+/// Set gauge `name[index]` to `v`.
+#[inline]
+pub fn gauge_set(name: &'static str, index: u32, v: i64) {
+    if !is_enabled() {
+        return;
+    }
+    with_session(|s| {
+        let i = s.slot(name, index, Kind::Gauge);
+        s.instruments[i].value = v;
+    });
+}
+
+/// Add `delta` (may be negative) to gauge `name[index]`.
+#[inline]
+pub fn gauge_add(name: &'static str, index: u32, delta: i64) {
+    if !is_enabled() {
+        return;
+    }
+    with_session(|s| {
+        let i = s.slot(name, index, Kind::Gauge);
+        s.instruments[i].value += delta;
+    });
+}
+
+/// Record `v` into histogram `name[index]`.
+#[inline]
+pub fn hist_record(name: &'static str, index: u32, v: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_session(|s| {
+        let i = s.slot(name, index, Kind::Histogram);
+        s.instruments[i]
+            .hist
+            .as_mut()
+            .expect("histogram slot")
+            .record(v);
+    });
+}
+
+/// True when at least one sample boundary lies strictly before `t_ps`.
+/// The engine calls this once per event; disabled sessions answer in a
+/// single thread-local load (`next_due` parks at `u64::MAX`).
+#[inline]
+pub fn sample_pending(t_ps: u64) -> bool {
+    NEXT_DUE.with(|d| d.get()) < t_ps
+}
+
+/// Fire every sample boundary strictly before `t_ps`, in order. Called
+/// by the engine before delivering an event at `t_ps`, so a sample at
+/// instant `s` observes exactly the state left by all events with
+/// `t <= s` — bit-reproducible, with no wall clock anywhere.
+pub fn sample_before(t_ps: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_session(|s| {
+        while s.next_due < t_ps {
+            let at = s.next_due;
+            take_sample(s, at);
+            s.next_due = s.next_due.saturating_add(s.cfg.interval_ps);
+        }
+        NEXT_DUE.with(|d| d.set(s.next_due));
+    });
+}
+
+/// Take one explicit sample at `t_ps` (the end-of-run snapshot, and the
+/// way unit tests drive the watchdogs without an engine). Does not move
+/// the periodic boundary.
+pub fn sample_at(t_ps: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_session(|s| take_sample(s, t_ps));
+}
+
+/// Snapshot every counter/gauge into its series, then run the four
+/// watchdogs against the freshly sampled state.
+fn take_sample(s: &mut Session, t_ps: u64) {
+    s.samples += 1;
+    for inst in &mut s.instruments {
+        if inst.kind != Kind::Histogram {
+            inst.series.push((t_ps, inst.value));
+        }
+    }
+    check_posted_credits(s, t_ps);
+    check_np_leaks(s, t_ps);
+    check_queue_stalls(s, t_ps);
+    check_fairness(s, t_ps);
+}
+
+fn layer_of(name: &str) -> String {
+    name.split('.').next().unwrap_or(name).to_string()
+}
+
+fn violate(
+    s: &mut Session,
+    t_ps: u64,
+    watchdog: Watchdog,
+    name: &'static str,
+    index: u32,
+    detail: String,
+) {
+    s.violations.push(Violation {
+        t_ps,
+        watchdog,
+        layer: layer_of(name),
+        name,
+        index,
+        detail,
+    });
+}
+
+/// Watchdog 1: per-tag posted-credit conservation. The three
+/// instruments are updated at the same sites in `dma_write`, so
+/// `granted − released == in-flight` is an identity of correct
+/// bookkeeping; a divergence means a credit was leaked or
+/// double-retired.
+fn check_posted_credits(s: &mut Session, t_ps: u64) {
+    let mut bad = Vec::new();
+    for inst in &s.instruments {
+        if inst.name != names::POSTED_GRANTED {
+            continue;
+        }
+        let granted = inst.value;
+        let released = s.value_of(names::POSTED_RELEASED, inst.index).unwrap_or(0);
+        let inflight = s.value_of(names::POSTED_INFLIGHT, inst.index).unwrap_or(0);
+        if granted - released != inflight {
+            bad.push((inst.index, granted, released, inflight));
+        }
+    }
+    for (index, granted, released, inflight) in bad {
+        violate(
+            s,
+            t_ps,
+            Watchdog::PostedCredit,
+            names::POSTED_GRANTED,
+            index,
+            format!(
+                "granted {granted} - released {released} = {} but {inflight} in flight",
+                granted - released
+            ),
+        );
+    }
+}
+
+/// Watchdog 2: per-tag NP window containment. More reads in flight
+/// than the tag's window (or a negative depth) means a tag was leaked
+/// or retired twice.
+fn check_np_leaks(s: &mut Session, t_ps: u64) {
+    let mut bad = Vec::new();
+    for inst in &s.instruments {
+        if inst.name != names::NP_INFLIGHT {
+            continue;
+        }
+        let window = s.value_of(names::NP_WINDOW, inst.index);
+        if inst.value < 0 || window.is_some_and(|w| inst.value > w) {
+            bad.push((inst.index, inst.value, window.unwrap_or(0)));
+        }
+    }
+    for (index, inflight, window) in bad {
+        violate(
+            s,
+            t_ps,
+            Watchdog::NpTagLeak,
+            names::NP_INFLIGHT,
+            index,
+            format!("{inflight} NP reads in flight, window {window}"),
+        );
+    }
+}
+
+/// Watchdog 3: queue stalls. A queue with avail backlog whose used
+/// counter stands still for `stall_samples` consecutive samples has
+/// wedged; one violation per episode.
+fn check_queue_stalls(s: &mut Session, t_ps: u64) {
+    let k = s.cfg.stall_samples;
+    let mut bad = Vec::new();
+    for (slot, inst) in s.instruments.iter().enumerate() {
+        if inst.name != names::QUEUE_BACKLOG {
+            continue;
+        }
+        let used = s.value_of(names::QUEUE_USED, inst.index).unwrap_or(0);
+        bad.push((slot as u32, inst.index, inst.value, used));
+    }
+    for (slot, index, backlog, used) in bad {
+        let watch = s.stall.entry(slot).or_default();
+        if backlog > 0 && used == watch.last_progress {
+            watch.stuck += 1;
+            if watch.stuck >= k && !watch.flagged {
+                watch.flagged = true;
+                let stuck = watch.stuck;
+                violate(
+                    s,
+                    t_ps,
+                    Watchdog::QueueStall,
+                    names::QUEUE_BACKLOG,
+                    index,
+                    format!(
+                        "backlog {backlog} with used count stuck at {used} for {stuck} samples"
+                    ),
+                );
+            }
+        } else {
+            watch.last_progress = used;
+            watch.stuck = 0;
+            watch.flagged = false;
+        }
+    }
+}
+
+/// Watchdog 4: WFQ fairness drift. Armed only when the arbiter reports
+/// the weighted-fair policy (strict priority starves by design, and
+/// round robin is covered by the stall watchdog upstream): a tenant
+/// with queued work that receives no grant for `fairness_samples`
+/// consecutive samples while total grants advance is being starved —
+/// WFQ is supposed to bound its service delay.
+fn check_fairness(s: &mut Session, t_ps: u64) {
+    let armed = s.value_of(names::ARBITER_POLICY, 0) == Some(names::POLICY_WFQ);
+    let total: i64 = s
+        .instruments
+        .iter()
+        .filter(|i| i.name == names::ARBITER_GRANTS)
+        .map(|i| i.value)
+        .sum();
+    let others_progressed = total > s.last_total_grants;
+    s.last_total_grants = total;
+    if !armed {
+        return;
+    }
+    let k = s.cfg.fairness_samples;
+    let mut bad = Vec::new();
+    for (slot, inst) in s.instruments.iter().enumerate() {
+        if inst.name != names::ARBITER_PENDING {
+            continue;
+        }
+        let grants = s.value_of(names::ARBITER_GRANTS, inst.index).unwrap_or(0);
+        bad.push((slot as u32, inst.index, inst.value, grants));
+    }
+    for (slot, index, pending, grants) in bad {
+        let watch = s.fair.entry(slot).or_default();
+        if pending > 0 && grants == watch.last_progress && others_progressed {
+            watch.stuck += 1;
+            if watch.stuck >= k && !watch.flagged {
+                watch.flagged = true;
+                let stuck = watch.stuck;
+                violate(
+                    s,
+                    t_ps,
+                    Watchdog::FairnessDrift,
+                    names::ARBITER_PENDING,
+                    index,
+                    format!(
+                        "tenant queued ({pending} pending) with grants stuck at {grants} \
+                         for {stuck} samples while the arbiter kept granting"
+                    ),
+                );
+            }
+        } else {
+            watch.last_progress = grants;
+            watch.stuck = 0;
+            watch.flagged = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(cfg: MetricsConfig) {
+        assert!(!is_enabled());
+        install(cfg);
+    }
+
+    /// The whole lifecycle runs in one test per concern area; each test
+    /// installs and finishes its own session, and the harness may run
+    /// them on separate threads (the session is thread-local), so they
+    /// do not race.
+    #[test]
+    fn lifecycle_and_instrument_updates() {
+        // Disabled: everything no-ops.
+        counter_add("x.y.z", 0, 5);
+        gauge_set("x.y.g", 0, 7);
+        hist_record("x.y.h", 0, 9);
+        assert!(!sample_pending(u64::MAX));
+        let empty = finish();
+        assert_eq!(empty.instruments.len(), 0);
+
+        fresh(MetricsConfig::default());
+        counter_add("a.b.c", 0, 2);
+        counter_add("a.b.c", 0, 3);
+        counter_set_total("a.b.t", 1, 10);
+        counter_set_total("a.b.t", 1, 7); // never lowers
+        gauge_set("a.b.g", 2, -4);
+        gauge_add("a.b.g", 2, 1);
+        hist_record("a.b.h", 0, 100);
+        sample_at(1_000);
+        let report = finish();
+        assert!(!is_enabled());
+        assert_eq!(report.samples, 1);
+        let c = report.get("a.b.c", 0).unwrap();
+        assert_eq!((c.kind, c.last), (Kind::Counter, 5));
+        assert_eq!(c.series, vec![(1_000, 5)]);
+        assert_eq!(report.get("a.b.t", 1).unwrap().last, 10);
+        assert_eq!(report.get("a.b.g", 2).unwrap().last, -3);
+        let h = report.get("a.b.h", 0).unwrap();
+        assert_eq!(h.histogram.as_ref().unwrap().count(), 1);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn sampler_fires_every_boundary_strictly_before_t() {
+        fresh(MetricsConfig {
+            interval_ps: 10,
+            ..MetricsConfig::default()
+        });
+        gauge_set("l.o.m", 0, 1);
+        assert!(sample_pending(1)); // boundary 0 is before t=1
+        sample_before(1);
+        assert!(!sample_pending(10)); // next boundary is exactly 10
+        assert!(sample_pending(11));
+        sample_before(35); // fires 10, 20, 30
+        let report = finish();
+        let series = &report.get("l.o.m", 0).unwrap().series;
+        assert_eq!(
+            series.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            vec![0, 10, 20, 30]
+        );
+        assert_eq!(report.samples, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "is a counter, touched as a gauge")]
+    fn kind_clash_panics() {
+        // Uninstall on unwind so the poisoned session does not leak
+        // into whatever test the harness runs next on this thread.
+        struct Guard;
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                uninstall();
+            }
+        }
+        fresh(MetricsConfig::default());
+        let _g = Guard;
+        counter_add("clash.a.b", 0, 1);
+        gauge_set("clash.a.b", 0, 1);
+    }
+
+    #[test]
+    fn posted_credit_watchdog_positive_and_negative() {
+        fresh(MetricsConfig::default());
+        // Healthy bookkeeping: identity holds.
+        counter_add(names::POSTED_GRANTED, 3, 4);
+        counter_add(names::POSTED_RELEASED, 3, 1);
+        gauge_set(names::POSTED_INFLIGHT, 3, 3);
+        sample_at(100);
+        // Leak one credit: grant without the in-flight bump.
+        counter_add(names::POSTED_GRANTED, 3, 1);
+        sample_at(200);
+        let report = finish();
+        assert_eq!(report.violations.len(), 1);
+        let v = &report.violations[0];
+        assert_eq!(v.watchdog, Watchdog::PostedCredit);
+        assert_eq!((v.t_ps, v.index, v.layer.as_str()), (200, 3, "pcie"));
+        assert!(v.detail.contains("granted 5"), "{}", v.detail);
+    }
+
+    #[test]
+    fn np_leak_watchdog_positive_and_negative() {
+        fresh(MetricsConfig::default());
+        gauge_set(names::NP_WINDOW, 1, 8);
+        gauge_set(names::NP_INFLIGHT, 1, 8); // at the window: legal
+        sample_at(100);
+        gauge_set(names::NP_INFLIGHT, 1, 9); // beyond: leaked tag
+        sample_at(200);
+        gauge_set(names::NP_INFLIGHT, 1, -1); // negative: double retire
+        sample_at(300);
+        let report = finish();
+        assert_eq!(report.violations.len(), 2);
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| v.watchdog == Watchdog::NpTagLeak && v.index == 1));
+        assert_eq!(report.violations[0].t_ps, 200);
+        assert_eq!(report.violations[1].t_ps, 300);
+    }
+
+    #[test]
+    fn queue_stall_watchdog_positive_and_negative() {
+        fresh(MetricsConfig {
+            stall_samples: 3,
+            ..MetricsConfig::default()
+        });
+        gauge_set(names::QUEUE_BACKLOG, 0, 2);
+        counter_add(names::QUEUE_USED, 0, 1);
+        // Progress every sample: never trips.
+        for t in 1..=5u64 {
+            counter_add(names::QUEUE_USED, 0, 1);
+            sample_at(t * 100);
+        }
+        // Backlog with the used counter frozen: trips once at the 3rd
+        // stuck sample, and only once for the whole episode.
+        for t in 6..=10u64 {
+            sample_at(t * 100);
+        }
+        // Progress resumes, then a second episode trips again.
+        counter_add(names::QUEUE_USED, 0, 1);
+        sample_at(1_100);
+        for t in 12..=15u64 {
+            sample_at(t * 100);
+        }
+        let report = finish();
+        assert_eq!(report.violations.len(), 2);
+        assert!(report
+            .violations
+            .iter()
+            .all(|v| v.watchdog == Watchdog::QueueStall));
+        assert_eq!(report.violations[0].t_ps, 800);
+        assert_eq!(report.violations[1].t_ps, 1_400);
+    }
+
+    #[test]
+    fn fairness_watchdog_armed_only_under_wfq() {
+        let run = |policy: i64| {
+            fresh(MetricsConfig {
+                fairness_samples: 3,
+                ..MetricsConfig::default()
+            });
+            gauge_set(names::ARBITER_POLICY, 0, policy);
+            gauge_set(names::ARBITER_PENDING, 0, 1);
+            counter_add(names::ARBITER_GRANTS, 0, 1);
+            gauge_set(names::ARBITER_PENDING, 1, 0);
+            counter_add(names::ARBITER_GRANTS, 1, 1);
+            sample_at(0);
+            // Tenant 0 stays queued and grant-less while tenant 1 is
+            // granted every interval.
+            for t in 1..=6u64 {
+                counter_add(names::ARBITER_GRANTS, 1, 1);
+                sample_at(t * 100);
+            }
+            finish()
+        };
+        let wfq = run(names::POLICY_WFQ);
+        assert_eq!(wfq.violations.len(), 1);
+        let v = &wfq.violations[0];
+        assert_eq!(v.watchdog, Watchdog::FairnessDrift);
+        assert_eq!(v.index, 0);
+        // Strict priority starves by design; round robin is the stall
+        // watchdog's problem. Neither arms this one.
+        assert!(run(names::POLICY_STRICT).violations.is_empty());
+        assert!(run(names::POLICY_RR).violations.is_empty());
+    }
+
+    #[test]
+    fn fairness_needs_other_tenants_progressing() {
+        // Everyone stalled (e.g. the link wedged) is a stall, not a
+        // fairness drift: total grants do not advance, so no violation.
+        fresh(MetricsConfig {
+            fairness_samples: 2,
+            ..MetricsConfig::default()
+        });
+        gauge_set(names::ARBITER_POLICY, 0, names::POLICY_WFQ);
+        gauge_set(names::ARBITER_PENDING, 0, 1);
+        counter_add(names::ARBITER_GRANTS, 0, 1);
+        for t in 0..6u64 {
+            sample_at(t * 100);
+        }
+        assert!(finish().violations.is_empty());
+    }
+}

@@ -348,6 +348,13 @@ impl PcieLink {
             TlpKind::CplD | TlpKind::Cpl => 2,
         };
         self.tlp_counts[idx] += 1;
+        if vf_metrics::is_enabled() {
+            // Index 0 = downstream, 1 = upstream.
+            let d = matches!(dir, Direction::Upstream) as u32;
+            vf_metrics::counter_add("pcie.wire.bytes", d, wire as u64);
+            vf_metrics::counter_add("pcie.wire.tlps", d, 1);
+            vf_metrics::hist_record("pcie.wire.tlp_bytes", d, wire as u64);
+        }
     }
 
     /// Serialize one TLP in `dir` no earlier than `earliest`; returns the
@@ -479,7 +486,9 @@ impl PcieLink {
         }
         let mut chunk_addr = addr;
         let mut last_done = now;
+        let mut issued = 0u64;
         for chunk in split_aligned(addr, len, self.cfg.read_req) {
+            issued += 1;
             // Tag availability: retire reads whose completions have
             // landed by our earliest possible issue instant. Under
             // relaxed ordering a later-issued read may retire first, so
@@ -529,6 +538,15 @@ impl PcieLink {
             last_done = done;
             chunk_addr += chunk as u64;
         }
+        if vf_metrics::is_enabled() {
+            use vf_metrics::names;
+            let t = tag as u32;
+            let ctx = &self.np_contexts[tag];
+            vf_metrics::counter_add("pcie.np.issued", t, issued);
+            vf_metrics::gauge_set(names::NP_INFLIGHT, t, ctx.inflight.len() as i64);
+            vf_metrics::gauge_set(names::NP_WINDOW, t, window as i64);
+            vf_metrics::gauge_set("pcie.np.peak", t, ctx.peak as i64);
+        }
         last_done
     }
 
@@ -566,6 +584,13 @@ impl PcieLink {
             self.posted_credits.resize_with(tag + 1, VecDeque::new);
         }
         let mut last_arrival = now;
+        // Credit bookkeeping for the conservation watchdog: every pop
+        // below counts as a release, every push as a grant, so
+        // `granted − released == in-flight` holds at each call boundary
+        // (and therefore at every sample, which only fires between
+        // events).
+        let mut granted = 0u64;
+        let mut released = 0u64;
         for chunk in split_aligned(addr, len, self.cfg.mps) {
             // Retire credits that have already returned by our earliest
             // possible send time, then stall if still at the window limit.
@@ -580,6 +605,7 @@ impl PcieLink {
             while let Some(&front) = self.posted_credits[tag].front() {
                 if front <= earliest {
                     self.posted_credits[tag].pop_front();
+                    released += 1;
                 } else {
                     break;
                 }
@@ -588,12 +614,26 @@ impl PcieLink {
                 earliest = self.posted_credits[tag]
                     .pop_front()
                     .expect("credit queue non-empty");
+                released += 1;
             }
             let sent = self.put_tlp(earliest, Direction::Upstream, TlpKind::MemWrite, chunk);
             let at_rc = sent + self.cfg.propagation;
             let ret = at_rc + self.cfg.credit_return;
             self.posted_credits[tag].push_back(ret);
+            granted += 1;
             last_arrival = at_rc;
+        }
+        if vf_metrics::is_enabled() {
+            use vf_metrics::names;
+            let t = tag as u32;
+            vf_metrics::counter_add(names::POSTED_GRANTED, t, granted);
+            vf_metrics::counter_add(names::POSTED_RELEASED, t, released);
+            vf_metrics::gauge_set(
+                names::POSTED_INFLIGHT,
+                t,
+                self.posted_credits[tag].len() as i64,
+            );
+            vf_metrics::gauge_set("pcie.posted.window", t, window as i64);
         }
         last_arrival + self.cfg.rc_write_latency
     }

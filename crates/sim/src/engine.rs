@@ -175,6 +175,15 @@ impl<W: World> Simulation<W> {
             return false;
         };
         debug_assert!(at >= self.now, "event queue went backwards");
+        // Fire any metrics sample boundaries that lie strictly before
+        // this event, so a sample at instant `s` observes exactly the
+        // state left by all events with `t <= s`. Sampling is pure
+        // observation — it cannot schedule, reorder, or perturb events —
+        // and with no session installed this is one thread-local load.
+        if vf_metrics::sample_pending(at.as_ps()) {
+            self.publish_metrics();
+            vf_metrics::sample_before(at.as_ps());
+        }
         self.now = at;
         if let Some(hook) = self.hook.as_mut() {
             hook(self.now, &msg);
@@ -239,6 +248,22 @@ impl<W: World> Simulation<W> {
     /// Run until the queue drains (with a generous livelock guard).
     pub fn run_to_idle(&mut self) -> RunOutcome {
         self.run(Time::MAX, u64::MAX / 2)
+    }
+
+    /// Publish the engine/wheel gauges into the ambient metrics session:
+    /// pending-event depth, slab/freelist/overflow occupancy, and the
+    /// cascade and delivery totals. Called automatically just before
+    /// each batch of sample boundaries fires (the wheel cannot change
+    /// between boundaries with no events in between); harnesses may
+    /// also call it before an explicit end-of-run
+    /// [`vf_metrics::sample_at`].
+    pub fn publish_metrics(&self) {
+        vf_metrics::gauge_set("sim.wheel.pending", 0, self.queue.len() as i64);
+        vf_metrics::gauge_set("sim.wheel.slab", 0, self.queue.slab_len() as i64);
+        vf_metrics::gauge_set("sim.wheel.freelist", 0, self.queue.freelist_len() as i64);
+        vf_metrics::gauge_set("sim.wheel.overflow", 0, self.queue.overflow_len() as i64);
+        vf_metrics::counter_set_total("sim.wheel.cascades", 0, self.queue.cascades());
+        vf_metrics::counter_set_total("sim.events.delivered", 0, self.delivered);
     }
 
     /// Run and require the queue to drain: like [`run`](Self::run), but
@@ -464,6 +489,45 @@ mod tests {
         let mut sim = Simulation::new(Countdown { log: Vec::new() });
         sim.schedule(Time::from_ns(5), 10);
         sim.run_expect_idle(Time::from_ns(26), u64::MAX / 2, "countdown");
+    }
+
+    /// The sampler fires between events, never as an event: delivery
+    /// order and timestamps are identical with and without a metrics
+    /// session, while the wheel gauges show live occupancy draining to
+    /// zero with every node back on the freelist.
+    #[test]
+    fn metrics_sampling_observes_without_perturbing() {
+        let run = |metered: bool| {
+            if metered {
+                vf_metrics::install(vf_metrics::MetricsConfig {
+                    interval_ps: 10_000, // 10 ns, dense relative to the events
+                    ..Default::default()
+                });
+            }
+            let mut sim = Simulation::new(Countdown { log: Vec::new() });
+            for i in 0..10 {
+                sim.schedule(Time::from_ns(5 + i), 20);
+            }
+            sim.run_to_idle();
+            sim.publish_metrics();
+            vf_metrics::sample_at(sim.now().as_ps());
+            (sim.world.log, vf_metrics::finish())
+        };
+        let (plain, empty) = run(false);
+        let (metered, report) = run(true);
+        assert_eq!(plain, metered, "sampling perturbed delivery");
+        assert!(empty.instruments.is_empty());
+        assert!(report.samples > 10);
+        let pending = report.get("sim.wheel.pending", 0).unwrap();
+        assert!(pending.series.iter().any(|&(_, v)| v > 0));
+        assert_eq!(pending.last, 0, "queue did not drain");
+        assert_eq!(
+            report.get("sim.wheel.freelist", 0).unwrap().last,
+            report.get("sim.wheel.slab", 0).unwrap().last,
+            "wheel leaked slab nodes"
+        );
+        assert!(report.counter_total("sim.events.delivered") >= 200);
+        assert!(report.violations.is_empty());
     }
 
     #[test]

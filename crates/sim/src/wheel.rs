@@ -140,6 +140,12 @@ pub struct TimingWheel<M> {
     /// Cached earliest wheel/overflow expiry (not counting `ready`);
     /// invalidated when a batch is popped, tightened by inserts.
     next_cache: Option<Time>,
+    /// Live freelist length; with `len` and `slab.len()` this makes node
+    /// leaks observable (`vf-metrics` gauges, and the leak-canary test).
+    free_len: usize,
+    /// Total nodes re-filed to a lower level by batch cascades — the
+    /// wheel's amortized-cost knob, exported as a metrics counter.
+    cascades: u64,
 }
 
 impl<M> TimingWheel<M> {
@@ -155,6 +161,8 @@ impl<M> TimingWheel<M> {
             seq: 0,
             len: 0,
             next_cache: None,
+            free_len: 0,
+            cascades: 0,
         }
     }
 
@@ -168,6 +176,35 @@ impl<M> TimingWheel<M> {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Nodes ever allocated in the slab (live + freelisted). Grows to
+    /// the peak concurrent event count and never shrinks.
+    #[inline]
+    pub fn slab_len(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// Slab nodes currently on the freelist. After a drained run this
+    /// must equal [`slab_len`](Self::slab_len): any gap is a leaked
+    /// node (the PR 7 intrusive-freelist hazard the metrics leak
+    /// canary watches for).
+    #[inline]
+    pub fn freelist_len(&self) -> usize {
+        self.free_len
+    }
+
+    /// Events parked in the sorted overflow level.
+    #[inline]
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Total nodes re-filed into a lower level by batch cascades since
+    /// construction.
+    #[inline]
+    pub fn cascades(&self) -> u64 {
+        self.cascades
     }
 
     /// Insert an event at absolute instant `at` (must be `>=` the last
@@ -314,6 +351,7 @@ impl<M> TimingWheel<M> {
                         let msg = self.recycle(n);
                         self.ready.push_back((seq, msg));
                     } else {
+                        self.cascades += 1;
                         self.file(n, at);
                     }
                     n = next;
@@ -404,6 +442,7 @@ impl<M> TimingWheel<M> {
             let node = &mut self.slab[idx as usize];
             debug_assert!(node.msg.is_none());
             self.free = node.next;
+            self.free_len -= 1;
             node.at = at;
             node.seq = seq;
             node.next = NIL;
@@ -428,6 +467,7 @@ impl<M> TimingWheel<M> {
         let msg = node.msg.take().expect("recycling an empty node");
         node.next = self.free;
         self.free = idx;
+        self.free_len += 1;
         msg
     }
 }
@@ -555,6 +595,40 @@ mod tests {
             "slab grew to {} nodes for 100 live events",
             w.slab.len()
         );
+    }
+
+    /// Leak canary for the intrusive freelist: after a drained run every
+    /// slab node must be back on the freelist and the overflow level
+    /// empty, whatever mix of levels, cascades, and overflow promotions
+    /// the events went through. A node that misses `recycle` would show
+    /// up here as `freelist_len < slab_len` long before it exhausts the
+    /// slab.
+    #[test]
+    fn occupancy_returns_to_zero_after_drain() {
+        let mut w = TimingWheel::new();
+        for round in 0..3u64 {
+            for i in 0..300u64 {
+                // Spread across level 0, mid levels, and the overflow;
+                // each round starts past the previous round's horizon so
+                // no insert lands behind the advanced epoch.
+                let at = round * (1 << 40) + (i * i * 7919) % (1 << 40);
+                w.insert(Time::from_ps(at), i as u32);
+            }
+            // Partial interleaved drain to force cascading mid-stream.
+            for _ in 0..150 {
+                w.pop();
+            }
+            while w.pop().is_some() {}
+            assert_eq!(w.len(), 0);
+            assert_eq!(
+                w.freelist_len(),
+                w.slab_len(),
+                "round {round}: slab nodes leaked"
+            );
+            assert_eq!(w.overflow_len(), 0, "round {round}: overflow leaked");
+        }
+        // The cascade counter saw the mid-level traffic.
+        assert!(w.cascades() > 0, "no cascades in a multi-level workload");
     }
 
     #[test]

@@ -110,6 +110,16 @@ impl QosArbiter {
     pub fn new(policy: ArbiterPolicy, classes: Vec<TenantClass>) -> Self {
         let n = classes.len();
         assert!(n >= 1, "an arbiter needs at least one tenant");
+        if vf_metrics::is_enabled() {
+            use vf_metrics::names;
+            // The fairness watchdog arms only when this gauge reads WFQ.
+            let code = match policy {
+                ArbiterPolicy::RoundRobin => names::POLICY_RR,
+                ArbiterPolicy::WeightedShare => names::POLICY_WFQ,
+                ArbiterPolicy::StrictPriority => names::POLICY_STRICT,
+            };
+            vf_metrics::gauge_set(names::ARBITER_POLICY, 0, code);
+        }
         QosArbiter {
             policy,
             classes,
@@ -128,11 +138,13 @@ impl QosArbiter {
     pub fn request(&mut self, tenant: u16, now: Time) -> Decision {
         if now >= self.busy_until || self.owner == Some(tenant) {
             self.grants += 1;
+            vf_metrics::counter_add(vf_metrics::names::ARBITER_GRANTS, tenant as u32, 1);
             Decision::Grant
         } else {
             if !self.pending[tenant as usize] {
                 self.pending[tenant as usize] = true;
                 self.pending_count += 1;
+                vf_metrics::gauge_set(vf_metrics::names::ARBITER_PENDING, tenant as u32, 1);
             }
             self.queued += 1;
             Decision::Queued
@@ -180,6 +192,11 @@ impl QosArbiter {
         self.pending[pick] = false;
         self.pending_count -= 1;
         self.grants += 1;
+        if vf_metrics::is_enabled() {
+            use vf_metrics::names;
+            vf_metrics::gauge_set(names::ARBITER_PENDING, pick as u32, 0);
+            vf_metrics::counter_add(names::ARBITER_GRANTS, pick as u32, 1);
+        }
         Some(pick as u16)
     }
 

@@ -35,7 +35,9 @@ mod session;
 mod sink;
 
 pub use breakdown::{per_rtt, render_table, RttBreakdown, SpanRec};
-pub use perfetto::{chrome_trace_json, chrome_trace_json_multi};
+pub use perfetto::{
+    chrome_trace_json, chrome_trace_json_full, chrome_trace_json_multi, CounterTrack,
+};
 pub use session::{
     advance, begin, end, finish, install, instant, is_enabled, set_now, span_at, uninstall,
 };

@@ -96,6 +96,33 @@ fn push_metadata(out: &mut String, pid: usize, track: &str) {
     }
 }
 
+/// One Perfetto counter track: a named series of `(t_ps, value)`
+/// samples rendered as `"C"` phase events. The trace crate stays
+/// metrics-agnostic — callers (the `repro` binary) adapt whatever
+/// sampled series they hold into this shape.
+#[derive(Clone, Debug, Default)]
+pub struct CounterTrack {
+    /// Track name as shown in the UI (e.g. `pcie.np.inflight[0]`).
+    pub name: String,
+    /// Sampled points, ascending in time.
+    pub points: Vec<(u64, i64)>,
+}
+
+fn push_counters(out: &mut String, pid: usize, counters: &[CounterTrack]) {
+    for track in counters {
+        for &(t_ps, v) in &track.points {
+            let _ = write!(
+                out,
+                ",{{\"name\":\"{}\",\"ph\":\"C\",\"pid\":{},\"tid\":0,\"ts\":{:.6},\"args\":{{\"value\":{}}}}}",
+                track.name,
+                pid,
+                t_ps as f64 / 1e6,
+                v
+            );
+        }
+    }
+}
+
 /// Render one event stream as a complete Chrome trace JSON document with
 /// a single track named `"trace"`.
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
@@ -105,9 +132,19 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
 /// Render several named event streams (one Perfetto "process" track
 /// each — e.g. one per driver model) into a single trace document.
 pub fn chrome_trace_json_multi(tracks: &[(&str, &[TraceEvent])]) -> String {
+    let full: Vec<(&str, &[TraceEvent], &[CounterTrack])> =
+        tracks.iter().map(|&(n, e)| (n, e, &[][..])).collect();
+    chrome_trace_json_full(&full)
+}
+
+/// Render named event streams with per-track counter series merged in:
+/// spans and instants as before, each counter series as a `"C"` track
+/// under the same process. This is how `repro -- trace` folds the
+/// metrics sampler's time-series into the span view.
+pub fn chrome_trace_json_full(tracks: &[(&str, &[TraceEvent], &[CounterTrack])]) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
-    for (i, (track, events)) in tracks.iter().enumerate() {
+    for (i, (track, events, counters)) in tracks.iter().enumerate() {
         let pid = i + 1;
         if !first {
             out.push(',');
@@ -118,6 +155,7 @@ pub fn chrome_trace_json_multi(tracks: &[(&str, &[TraceEvent])]) -> String {
             out.push(',');
             push_event(&mut out, pid, ev);
         }
+        push_counters(&mut out, pid, counters);
     }
     out.push_str("],\"displayTimeUnit\":\"ns\"}");
     out
@@ -169,6 +207,24 @@ mod tests {
         assert!(json.contains("{\"name\":\"xdma\"}"));
         assert!(json.contains("\"pid\":1"));
         assert!(json.contains("\"pid\":2"));
+    }
+
+    #[test]
+    fn counter_tracks_render_as_c_phase_events() {
+        let evs = vec![span(0, 10)];
+        let counters = vec![CounterTrack {
+            name: "pcie.np.inflight[0]".into(),
+            points: vec![(1_000_000, 2), (2_000_000, 0)],
+        }];
+        let json = chrome_trace_json_full(&[("virtio", &evs, &counters)]);
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert!(json.contains("\"name\":\"pcie.np.inflight[0]\""));
+        // 1_000_000 ps = 1 µs.
+        assert!(json.contains("\"ts\":1.000000,\"args\":{\"value\":2}"));
+        assert!(json.contains("\"args\":{\"value\":0}"));
+        // Still a well-formed document with the span in it.
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ns\"}"));
     }
 
     #[test]

@@ -87,6 +87,14 @@ pub struct DeviceQueue {
     indirect: bool,
     /// Interrupts actually asserted.
     pub interrupts_sent: u64,
+    /// Index this queue's vf-metrics instruments register under (the
+    /// virtio queue number; devices with one queue leave it 0).
+    metrics_index: u32,
+    /// Whether the backlog gauge registers under the stall-watchdogged
+    /// name. True for queues the host rings with work (TX); false for
+    /// pre-posted buffer rings (RX, control), where a nonzero backlog
+    /// with no used progress is the *idle* state, not a stall.
+    metrics_watch_backlog: bool,
 }
 
 impl DeviceQueue {
@@ -99,6 +107,27 @@ impl DeviceQueue {
             event_idx,
             indirect,
             interrupts_sent: 0,
+            metrics_index: 0,
+            metrics_watch_backlog: false,
+        }
+    }
+
+    /// Register this queue's metrics under `index` (the virtio queue
+    /// number), so per-queue backlog/used/desc-read series stay
+    /// distinguishable in multi-queue devices. `watch_backlog` marks a
+    /// host-driven (TX) queue whose backlog gauge the stall watchdog
+    /// monitors; leave it false for pre-posted rings.
+    pub fn set_metrics_index(&mut self, index: u32, watch_backlog: bool) {
+        self.metrics_index = index;
+        self.metrics_watch_backlog = watch_backlog;
+    }
+
+    /// The name the backlog gauge registers under for this queue.
+    fn backlog_gauge(&self) -> &'static str {
+        if self.metrics_watch_backlog {
+            vf_metrics::names::QUEUE_BACKLOG
+        } else {
+            "virtio.queue.rx_buffers"
         }
     }
 
@@ -121,7 +150,18 @@ impl DeviceQueue {
 
     /// Read the driver's current avail index (2-byte read).
     pub fn fetch_avail_idx<M: GuestMemory>(&self, mem: &M) -> u16 {
-        mem.read_u16(self.layout.avail_idx_addr())
+        let idx = mem.read_u16(self.layout.avail_idx_addr());
+        if vf_metrics::is_enabled() {
+            // The freshest view of the backlog the device can have: on
+            // TX queues the stall watchdog keys on this gauge staying
+            // nonzero while the used counter below stands still.
+            vf_metrics::gauge_set(
+                self.backlog_gauge(),
+                self.metrics_index,
+                idx.wrapping_sub(self.last_avail) as i64,
+            );
+        }
+        idx
     }
 
     /// Read the avail ring entry for position `pos` (2-byte read).
@@ -131,6 +171,7 @@ impl DeviceQueue {
 
     /// Read one descriptor (16-byte read).
     pub fn fetch_desc<M: GuestMemory>(&self, mem: &M, idx: u16) -> Desc {
+        vf_metrics::counter_add("virtio.queue.desc_reads", self.metrics_index, 1);
         Desc::read_at(mem, self.layout.desc, idx)
     }
 
@@ -173,6 +214,7 @@ impl DeviceQueue {
                 }
                 for i in 0..count {
                     let e = Desc::read_at(mem, d.addr, i as u16);
+                    vf_metrics::counter_add("virtio.queue.desc_reads", self.metrics_index, 1);
                     fetches += 1;
                     bufs.push(ChainBuf {
                         addr: e.addr,
@@ -201,7 +243,7 @@ impl DeviceQueue {
             return Ok(None);
         }
         let (chain, _) = self.resolve_at(mem, self.last_avail)?;
-        self.last_avail = self.last_avail.wrapping_add(1);
+        self.advance();
         Ok(Some(chain))
     }
 
@@ -209,6 +251,9 @@ impl DeviceQueue {
     /// controller, which resolves step-wise itself).
     pub fn advance(&mut self) {
         self.last_avail = self.last_avail.wrapping_add(1);
+        if vf_metrics::is_enabled() {
+            vf_metrics::gauge_add(self.backlog_gauge(), self.metrics_index, -1);
+        }
     }
 
     /// Publish a completion: used ring entry + index. `written` is the
@@ -222,6 +267,7 @@ impl DeviceQueue {
         mem.write_u32(entry + 4, written);
         self.used_idx = self.used_idx.wrapping_add(1);
         mem.write_u16(self.layout.used_idx_addr(), self.used_idx);
+        vf_metrics::counter_add(vf_metrics::names::QUEUE_USED, self.metrics_index, 1);
         if self.event_idx {
             // Ask to be notified once the driver publishes anything beyond
             // what we've seen — the standard low-latency device policy.

@@ -120,6 +120,8 @@ pub struct PackedDeviceQueue {
     size: u16,
     slot: u16,
     wrap: bool,
+    /// Index this queue's vf-metrics instruments register under.
+    metrics_index: u32,
 }
 
 /// A chain taken by the device.
@@ -301,7 +303,16 @@ impl PackedDeviceQueue {
             size,
             slot: 0,
             wrap: true,
+            metrics_index: 0,
         }
+    }
+
+    /// Register this queue's metrics under `index` (the virtio queue
+    /// number). Packed rings have no separate avail index, so only the
+    /// used and desc-read counters register — backlog is not observable
+    /// without probing descriptor ownership bits.
+    pub fn set_metrics_index(&mut self, index: u32) {
+        self.metrics_index = index;
     }
 
     /// Ring base guest-physical address (device models need it to time
@@ -335,6 +346,7 @@ impl PackedDeviceQueue {
         let mut guard = 0;
         loop {
             let d = PackedDesc::read_at(mem, self.ring, self.slot);
+            vf_metrics::counter_add("virtio.queue.desc_reads", self.metrics_index, 1);
             bufs.push((d.addr, d.len, d.flags & PACKED_F_WRITE != 0));
             id = d.id;
             self.advance();
@@ -390,6 +402,7 @@ impl PackedDeviceQueue {
             flags,
         }
         .write_at(mem, self.ring, chain.start_slot);
+        vf_metrics::counter_add(vf_metrics::names::QUEUE_USED, self.metrics_index, 1);
     }
 }
 

@@ -283,3 +283,40 @@ fn oversized_rx_frame_panics_loudly() {
     });
     assert!(result.is_err(), "oversized delivery must not pass silently");
 }
+
+/// The posted-credit conservation watchdog catches a leaked credit.
+/// First half (negative): a real link's bookkeeping keeps
+/// `granted − released == in-flight` through an actual DMA write, so a
+/// sample sees nothing. Second half (positive): inject the bug the
+/// watchdog exists for — a grant whose in-flight bump got lost, as a
+/// miscounting flow-control implementation would produce — and the
+/// next sample must flag it with the layer, tag and sim time.
+#[test]
+fn leaked_posted_credit_is_flagged_by_the_watchdog() {
+    use vf_metrics::{names, Watchdog};
+
+    let ((), report) = virtio_fpga::metered(vf_metrics::MetricsConfig::default(), || {
+        // Healthy: the link grants and retires credits itself.
+        let mut link = PcieLink::new(LinkConfig::gen2_x2());
+        link.dma_write(Time::ZERO, 0x1000, 4096);
+        vf_metrics::sample_at(10_000_000);
+        // Buggy: one more credit granted on tag 0 with no matching
+        // in-flight update or release.
+        vf_metrics::counter_add(names::POSTED_GRANTED, 0, 1);
+        vf_metrics::sample_at(20_000_000);
+    });
+    let leaks: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.watchdog == Watchdog::PostedCredit)
+        .collect();
+    assert_eq!(
+        leaks.len(),
+        1,
+        "exactly the injected leak must be flagged: {:?}",
+        report.violations
+    );
+    let v = leaks[0];
+    assert_eq!((v.t_ps, v.index, v.layer.as_str()), (20_000_000, 0, "pcie"));
+    assert_eq!(v.name, names::POSTED_GRANTED);
+}
