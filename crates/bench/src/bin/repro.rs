@@ -21,6 +21,7 @@
 //!   mq                             E19 multi-queue scaling
 //!   ooo                            E20 out-of-order descriptor pipeline
 //!   tenants                        E21 multi-tenant vhost multiplexing + noisy neighbor
+//!   blk                            E24 virtio-blk storage sweep vs XDMA baseline
 //!   all                            everything above
 //!   trace                          E18 cross-layer span trace + Perfetto export
 //!   metrics                        E23 sampled metrics + watchdogs (mq/ooo/tenants)
@@ -118,6 +119,7 @@ fn main() {
             "mq",
             "ooo",
             "tenants",
+            "blk",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -267,6 +269,9 @@ fn main() {
                     "{}",
                     render_noisy(256, &experiments::noisy_neighbor(params, 256))
                 );
+            }
+            "blk" => {
+                println!("{}", render_blk(&experiments::blk_storage(params)));
             }
             "trace" => {
                 let out = out_path
@@ -589,6 +594,6 @@ fn print_usage() {
          artifacts: fig3 fig4 fig5 table1 portability xdma-irq-ablation\n\
          \u{20}          virtio-features bypass devtypes csum-offload noise-sweep\n\
          \u{20}          pipeline deployment card-memory pmd pmd-crossover packed\n\
-         \u{20}          mq ooo tenants trace metrics all"
+         \u{20}          mq ooo tenants blk trace metrics all"
     );
 }

@@ -6,9 +6,9 @@
 #![warn(missing_docs)]
 
 use virtio_fpga::experiments::{
-    BreakdownRow, BypassRow, CsumRow, DeviceTypeRow, Fig3Row, NoiseRow, NoisyRow, PackedRow,
-    PmdCrossoverRow, PmdTailsRow, PortabilityRow, Table1Row, TenantRow, VirtioFeatureRow,
-    XdmaIrqRow,
+    BlkStorageRow, BreakdownRow, BypassRow, CsumRow, DeviceTypeRow, Fig3Row, NoiseRow, NoisyRow,
+    PackedRow, PmdCrossoverRow, PmdTailsRow, PortabilityRow, Table1Row, TenantRow,
+    VirtioFeatureRow, XdmaIrqRow,
 };
 use virtio_fpga::{render_breakdown, render_table1, DriverKind};
 
@@ -387,6 +387,47 @@ pub fn render_noisy(payload: usize, rows: &[NoisyRow]) -> String {
     out
 }
 
+/// Render the E24 storage sweep: one line per (workload, depth) virtio
+/// point plus the depth-less XDMA baseline line per workload.
+pub fn render_blk(rows: &[BlkStorageRow]) -> String {
+    let mut out = String::from(
+        "E24 — virtio-blk storage sweep vs XDMA character device\nworkload     io     driver      QD |    IOPS |    MB/s | mean(us) p99(us) | doorbells/req irqs/req\n-------------------+---------------+---------+---------+------------------+-----------------------\n",
+    );
+    for r in rows {
+        let io = if r.io_bytes >= 1024 {
+            format!("{}K", r.io_bytes / 1024)
+        } else {
+            format!("{}B", r.io_bytes)
+        };
+        for p in &r.points {
+            out.push_str(&format!(
+                "{:<11} {:>5}  virtio-blk {:>3} | {:>7.0} | {:>7.1} | {:>8.1} {:>7.1} | {:>13.3} {:>8.3}\n",
+                r.pattern.name(),
+                io,
+                p.depth,
+                p.iops,
+                p.mbps,
+                p.latency.mean_us,
+                p.latency.p99_us,
+                p.doorbells_per_request,
+                p.irqs_per_request
+            ));
+        }
+        out.push_str(&format!(
+            "{:<11} {:>5}  xdma         - | {:>7.0} | {:>7.1} | {:>8.1} {:>7.1} | {:>13.3} {:>8.3}\n",
+            r.pattern.name(),
+            io,
+            r.xdma.iops,
+            r.xdma.mbps,
+            r.xdma.latency.mean_us,
+            r.xdma.latency.p99_us,
+            r.xdma.doorbells_per_request,
+            r.xdma.irqs_per_request
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +541,25 @@ mod tests {
         let n = render_noisy(256, &noisy);
         assert!(n.contains("E21") && n.contains("inflation"));
         assert_eq!(n.lines().count(), 3 + 3); // title + 2 header + 3 policies
+    }
+
+    #[test]
+    fn blk_renders_every_cell() {
+        let rows = experiments::blk_storage(ExperimentParams {
+            packets: 200,
+            seed: 43,
+            threads: 8,
+        });
+        let s = render_blk(&rows);
+        assert!(s.contains("E24"));
+        // title + 2 header + 4 workloads × (6 depths + 1 XDMA line).
+        assert_eq!(
+            s.lines().count(),
+            3 + experiments::BLK_WORKLOADS.len() * (experiments::BLK_DEPTHS.len() + 1)
+        );
+        assert!(s.contains("rand-read") && s.contains("seq-write"));
+        assert!(s.contains("128K") && s.contains("4K"));
+        assert!(s.contains("xdma"));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`pipeline_depth`] | E20 — out-of-order descriptor pipeline: outstanding-read depth × layout × pairs |
 //! | [`tenant_scaling`] | E21 — multi-tenant vhost multiplexing: per-tenant p99 and Jain fairness vs tenant count × arbiter policy |
 //! | [`noisy_neighbor`] | E21 — noisy-neighbor isolation: victim p99 inflation per arbiter policy |
+//! | [`blk_storage`] | E24 — virtio-blk storage sweep: IOPS/MB/s vs queue depth per workload, with the XDMA storage baseline |
 //!
 //! Runs within a sweep are independent simulations and execute in
 //! parallel ([`vf_sim::parallel_map`]), one thread per configuration.
@@ -1243,6 +1244,111 @@ pub fn noisy_neighbor(params: ExperimentParams, payload: usize) -> Vec<NoisyRow>
         .collect()
 }
 
+/// One queue-depth point of an E24 workload row.
+pub struct BlkQdPoint {
+    /// Outstanding requests held by the front end.
+    pub depth: usize,
+    /// Requests per second.
+    pub iops: f64,
+    /// Data throughput (MB/s).
+    pub mbps: f64,
+    /// Per-request completion latency.
+    pub latency: Summary,
+    /// Doorbell MMIO writes per request (EVENT_IDX coalescing).
+    pub doorbells_per_request: f64,
+    /// MSI-X interrupts per request.
+    pub irqs_per_request: f64,
+}
+
+/// One workload row of the E24 storage sweep.
+pub struct BlkStorageRow {
+    /// Access pattern.
+    pub pattern: crate::blk::BlkPattern,
+    /// Bytes per request.
+    pub io_bytes: u32,
+    /// The virtio-blk points, one per entry of [`BLK_DEPTHS`].
+    pub points: Vec<BlkQdPoint>,
+    /// The XDMA character-device baseline (always depth 1: the vendor
+    /// driver exposes no request queue to keep outstanding I/O in).
+    pub xdma: BlkQdPoint,
+}
+
+/// Queue depths the E24 sweep walks.
+pub const BLK_DEPTHS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// The E24 workload matrix: 4K random read/write (the IOPS side of a
+/// storage datasheet) and 128K sequential read/write (the bandwidth
+/// side).
+pub const BLK_WORKLOADS: [(crate::blk::BlkPattern, u32); 4] = [
+    (crate::blk::BlkPattern::RandomRead, 4096),
+    (crate::blk::BlkPattern::RandomWrite, 4096),
+    (crate::blk::BlkPattern::SequentialRead, 128 << 10),
+    (crate::blk::BlkPattern::SequentialWrite, 128 << 10),
+];
+
+fn blk_point(r: &crate::blk::BlkRunResult) -> BlkQdPoint {
+    assert_eq!(r.verify_failures, 0, "{} corrupted data", r.pattern.name());
+    let mut lat = SampleSet::from_us(r.latency.raw().to_vec());
+    BlkQdPoint {
+        depth: r.depth,
+        iops: r.iops,
+        mbps: r.mbps,
+        latency: lat.summary(),
+        doorbells_per_request: r.doorbells_per_request(),
+        irqs_per_request: r.irqs_per_request(),
+    }
+}
+
+/// E24: the virtio-blk storage sweep. Every [`BLK_WORKLOADS`] pattern
+/// runs across [`BLK_DEPTHS`] outstanding requests through the block
+/// persona's request-queue walker, plus once through the XDMA
+/// character device. Queue depth is the axis the paper's echo worlds
+/// cannot show: the virtio request queue overlaps DMA with submission,
+/// so IOPS climbs with depth until the link saturates, while the
+/// vendor driver's one-transfer-at-a-time model stays flat by
+/// construction.
+pub fn blk_storage(params: ExperimentParams) -> Vec<BlkStorageRow> {
+    // (workload index, Some(depth) = virtio point | None = XDMA baseline)
+    let mut jobs: Vec<(usize, Option<usize>)> = Vec::new();
+    for w in 0..BLK_WORKLOADS.len() {
+        for &d in &BLK_DEPTHS {
+            jobs.push((w, Some(d)));
+        }
+        jobs.push((w, None));
+    }
+    let results = parallel_map(jobs.clone(), params.threads, |&(w, depth)| {
+        let (pattern, io_bytes) = BLK_WORKLOADS[w];
+        let seed = params.seed.wrapping_mul(1000).wrapping_add(w as u64 * 37);
+        match depth {
+            Some(d) => {
+                let cfg = TestbedConfig::paper(
+                    DriverKind::VirtioBlk,
+                    io_bytes as usize,
+                    params.packets,
+                    seed,
+                );
+                crate::blk::run_blk(&cfg, pattern, io_bytes, d)
+            }
+            None => {
+                let cfg =
+                    TestbedConfig::paper(DriverKind::Xdma, io_bytes as usize, params.packets, seed);
+                crate::blk::run_xdma_storage(&cfg, pattern, io_bytes)
+            }
+        }
+    });
+    let per_row = BLK_DEPTHS.len() + 1;
+    BLK_WORKLOADS
+        .iter()
+        .zip(results.chunks(per_row))
+        .map(|(&(pattern, io_bytes), chunk)| BlkStorageRow {
+            pattern,
+            io_bytes,
+            points: chunk[..BLK_DEPTHS.len()].iter().map(blk_point).collect(),
+            xdma: blk_point(&chunk[BLK_DEPTHS.len()]),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1568,5 +1674,33 @@ mod tests {
         // The aggressor actually hit the device harder than a uniform
         // tenant would: its deeper window yields a higher service rate.
         assert!(wfq.noisy_pps > wfq.pps / NOISY_TENANTS as f64);
+    }
+
+    /// The E24 acceptance shape: 4K random-read IOPS strictly climbs
+    /// QD1 → QD4, and the XDMA baseline has no depth axis at all.
+    #[test]
+    fn blk_storage_scales_with_depth() {
+        let rows = blk_storage(ExperimentParams {
+            packets: 250,
+            seed: 31,
+            threads: 8,
+        });
+        assert_eq!(rows.len(), BLK_WORKLOADS.len());
+        for row in &rows {
+            assert_eq!(row.points.len(), BLK_DEPTHS.len());
+            assert_eq!(row.xdma.depth, 1);
+            assert!(row.xdma.iops > 0.0);
+        }
+        let rr4k = &rows[0];
+        assert_eq!(rr4k.pattern, crate::blk::BlkPattern::RandomRead);
+        assert!(
+            rr4k.points[0].iops < rr4k.points[1].iops && rr4k.points[1].iops < rr4k.points[2].iops,
+            "4K rand-read must scale QD1→QD4: {} / {} / {}",
+            rr4k.points[0].iops,
+            rr4k.points[1].iops,
+            rr4k.points[2].iops
+        );
+        // 128K sequential moves more data than 4K random at equal depth.
+        assert!(rows[2].points[2].mbps > rows[0].points[2].mbps);
     }
 }

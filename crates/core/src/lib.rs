@@ -25,6 +25,8 @@
 //!   poll-mode driver world (E15/E16);
 //! * [`mq`] — the multi-queue virtio-net scaling worlds (E19): N queue
 //!   pairs, per-queue MSI-X, one simulated host core per pair;
+//! * [`blk`] — the virtio-blk device class (E24): serial round-trip
+//!   world, queue-depth storage sweeps, and the XDMA storage baseline;
 //! * [`tenant`] — the multi-tenant vhost multiplexing worlds (E21): M
 //!   guest VMs sharing one device through per-tenant vhost workers and
 //!   a pluggable QoS arbiter;
@@ -34,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod blk;
 pub mod calibration;
 pub mod driver_model;
 pub mod experiments;
@@ -46,6 +49,7 @@ pub mod tenant;
 pub mod testbed;
 pub mod traced;
 
+pub use blk::{pattern_bytes, run_blk, run_xdma_storage, BlkPattern, BlkRunResult, BLK_SEG_MAX};
 pub use calibration::Calibration;
 pub use driver_model::{run_world, DriverModel, RoundTripRecorder, RunStats};
 pub use metered::{metered, metered_run, metered_run_with, MeteredRun};

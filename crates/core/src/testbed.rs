@@ -75,6 +75,11 @@ pub enum DriverKind {
     /// ([`TestbedOptions::tenant_vhost`]). Tenant count rides
     /// [`TestbedOptions::mq_queue_pairs`].
     VirtioTenant,
+    /// In-kernel virtio-blk driver over the block persona (E24): 3-part
+    /// request chains against the controller's in-fabric disk, with
+    /// `queue-depth` requests kept outstanding by the front end. The
+    /// storage counterpart of [`DriverKind::Virtio`]; see `crate::blk`.
+    VirtioBlk,
 }
 
 impl DriverKind {
@@ -88,6 +93,7 @@ impl DriverKind {
             DriverKind::VirtioMq => "VirtIO-MQ",
             DriverKind::VirtioMqPacked => "VirtIO-MQ-packed",
             DriverKind::VirtioTenant => "VirtIO-TNT",
+            DriverKind::VirtioBlk => "VirtIO-blk",
         }
     }
 }
@@ -155,6 +161,14 @@ pub struct TestbedOptions {
     /// means uniform [`TenantConfig::default`] tenants; otherwise the
     /// length must equal [`TestbedOptions::mq_queue_pairs`].
     pub tenant_configs: Vec<TenantConfig>,
+    /// E24 (`DriverKind::VirtioBlk` only): expose the disk read-only.
+    /// The device then offers `VIRTIO_BLK_F_RO` and fails guest writes
+    /// with `IOERR`.
+    pub blk_read_only: bool,
+    /// E24: disk capacity in 512-byte sectors. The default (32 768 =
+    /// 16 MiB) leaves the random-I/O sweeps room to address distinct
+    /// slots at every I/O size.
+    pub blk_capacity_sectors: u64,
 }
 
 /// How the MQ device steers echoed flows back to queue pairs.
@@ -190,6 +204,8 @@ impl Default for TestbedOptions {
             tenant_vhost: false,
             tenant_packed: false,
             tenant_configs: Vec::new(),
+            blk_read_only: false,
+            blk_capacity_sectors: 32_768,
         }
     }
 }
@@ -335,6 +351,36 @@ impl VirtioParts {
     }
 }
 
+/// Build the block-persona FPGA device for E24, offering the storage
+/// feature bits the persona actually implements: `SEG_MAX` (the config
+/// field is valid), `FLUSH` (the disk counts cache flushes), and `RO`
+/// when the disk is exposed read-only. The stub persona used to offer
+/// `0` here, so no front end could ever negotiate multi-segment
+/// requests — `blk_feature_offer_includes_seg_max_and_flush` in
+/// `crate::blk` regresses that.
+pub(crate) fn build_blk_device(cfg: &TestbedConfig) -> VirtioFpgaDevice {
+    let disk =
+        vf_virtio::block::MemDisk::new(cfg.options.blk_capacity_sectors, cfg.options.blk_read_only);
+    let mut extra = vf_virtio::block::feature::SEG_MAX | vf_virtio::block::feature::FLUSH;
+    if cfg.options.blk_read_only {
+        extra |= vf_virtio::block::feature::RO;
+    }
+    let mut device = VirtioFpgaDevice::new(
+        Persona::Block {
+            cfg: VirtioBlkConfig {
+                capacity: disk.capacity(),
+                seg_max: crate::blk::BLK_SEG_MAX,
+            },
+            disk,
+        },
+        extra,
+        &[cfg.options.queue_size],
+        Box::new(ConsoleEcho::default()),
+    );
+    device.set_card_memory(cfg.options.card_memory.store(256 * 1024));
+    device
+}
+
 // ---------------------------------------------------------------------
 // VirtIO world
 // ---------------------------------------------------------------------
@@ -420,17 +466,12 @@ impl VirtioWorld {
                     vf_virtio::console::feature::SIZE,
                     Box::new(ConsoleEcho::default()),
                 ),
-                DeviceType::Block => (
-                    Persona::Block {
-                        cfg: VirtioBlkConfig {
-                            capacity: 1024,
-                            seg_max: 4,
-                        },
-                        disk: vf_virtio::block::MemDisk::new(1024, false),
-                    },
-                    0,
-                    Box::new(ConsoleEcho::default()),
-                ),
+                DeviceType::Block => {
+                    unreachable!(
+                        "the block persona runs under DriverKind::VirtioBlk (crate::blk), \
+                         not the echo worlds"
+                    )
+                }
                 DeviceType::Rng => {
                     unreachable!("virtio-rng has no echo workload; see the rng unit tests")
                 }
@@ -478,8 +519,8 @@ impl VirtioWorld {
                     FrontEnd::Net(Box::new(driver))
                 }
             }
-            DeviceType::Rng => unreachable!("rng persona rejected above"),
-            DeviceType::Console | DeviceType::Block => {
+            DeviceType::Rng | DeviceType::Block => unreachable!("persona rejected above"),
+            DeviceType::Console => {
                 let driver = VirtioConsoleDriver::init(&mut mem, cfg.options.queue_size, want);
                 // The console probe reuses the same transport sequence via
                 // a scratch net driver facade: program queues directly.
@@ -1267,6 +1308,7 @@ impl Testbed {
                 run_world::<crate::mq::MqWorld>(&self.cfg).0
             }
             DriverKind::VirtioTenant => run_world::<crate::tenant::TenantWorld>(&self.cfg).0,
+            DriverKind::VirtioBlk => run_world::<crate::blk::BlkWorld>(&self.cfg).0,
             DriverKind::Xdma => run_world::<XdmaWorld>(&self.cfg).0,
         }
     }

@@ -28,7 +28,7 @@ use vf_pcie::{
     PcieLink, VirtioCfgType, VirtioPciCap, VIRTIO_VENDOR_ID,
 };
 use vf_sim::{Time, FPGA_CYCLE};
-use vf_virtio::block::{BlkRequest, MemDisk, VirtioBlkConfig};
+use vf_virtio::block::{blk_status, BlkParseError, BlkRequest, MemDisk, VirtioBlkConfig};
 use vf_virtio::console::VirtioConsoleConfig;
 use vf_virtio::net::{
     internet_checksum, VirtioNetConfig, VirtioNetHdr, HDR_F_DATA_VALID, HDR_F_NEEDS_CSUM,
@@ -244,6 +244,30 @@ pub struct RxOutcome {
     pub delivered: bool,
 }
 
+/// One serviced request from a block-queue walker pass.
+#[derive(Clone, Copy, Debug)]
+pub struct BlkCompletion {
+    /// Head descriptor index of the request chain.
+    pub head: u16,
+    /// Status byte of the completion (`blk_status`).
+    pub status: u8,
+    /// Instant the used-index write made the completion host-visible.
+    pub done_at: Time,
+    /// Instant this request's MSI-X message reached the host, if one
+    /// fired (EVENT_IDX may suppress it).
+    pub irq_at: Option<Time>,
+}
+
+/// Result of a block request-queue walker pass: one record per serviced
+/// request, in service order.
+#[derive(Clone, Debug, Default)]
+pub struct BlkOutcome {
+    /// Per-request completions.
+    pub completions: Vec<BlkCompletion>,
+    /// Instant the walker went idle again.
+    pub done_at: Time,
+}
+
 /// Statistics the device accumulates.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DeviceStats {
@@ -265,6 +289,9 @@ pub struct DeviceStats {
     pub desc_reads: u64,
     /// Block requests served.
     pub blk_requests: u64,
+    /// Malformed block chains/requests survived (completed with an error
+    /// status or skipped) instead of crashing the walker.
+    pub blk_errors: u64,
     /// Control-virtqueue commands processed (MQ configuration etc.).
     pub ctrl_commands: u64,
     /// Deepest the non-posted read window of any queue walker got
@@ -1307,13 +1334,22 @@ impl VirtioFpgaDevice {
     /// Process a doorbell on a block-device request queue: parse each
     /// request chain, execute it against the persona's disk, write data +
     /// status back, complete, and interrupt.
+    ///
+    /// Unlike the net RX path this returns one completion record per
+    /// serviced request — the walker is a serial FSM, but a queue-depth-N
+    /// driver has N requests outstanding and needs each one's completion
+    /// instant, not just the pass's last interrupt. Malformed chains do
+    /// not crash the walker: an unknown request type is completed with
+    /// `UNSUPP` in its status footer, a structurally broken chain is
+    /// completed with zero bytes, and a corrupt ring stops the pass
+    /// (`blk_errors` counts all three).
     pub fn process_block_notify(
         &mut self,
         arrival: Time,
         queue: u16,
         mem: &mut HostMemory,
         link: &mut PcieLink,
-    ) -> RxOutcome {
+    ) -> BlkOutcome {
         link.select_dma_context(queue as usize);
         let timing = self.timing;
         let q = self.queues[queue as usize]
@@ -1321,55 +1357,120 @@ impl VirtioFpgaDevice {
             .expect("request queue not enabled");
         let layout = *q.layout();
         let mut t = arrival + timing.notify_decode;
-        t = link.dma_read(t, layout.avail_idx_addr(), 2);
-        self.stats.desc_reads += 1;
+        // One burst covers the avail index and every new ring entry (the
+        // same coalescing the rng walker does), instead of a per-request
+        // 2-byte ring read.
         let avail_idx = q.fetch_avail_idx(mem);
-        let mut irq_at = None;
-        let mut any = false;
+        let pending = avail_idx.wrapping_sub(q.last_avail()) as usize;
+        t = link.dma_read(t, layout.avail_idx_addr(), (2 + 2 * pending).min(64));
+        self.stats.desc_reads += 1;
+        let mut completions = Vec::with_capacity(pending);
         while q.last_avail() != avail_idx {
             let pos = q.last_avail();
-            t = link.dma_read(t, layout.avail_ring_addr(pos % layout.size), 2);
+            let (chain, fetches) = match q.resolve_at(mem, pos) {
+                Ok(r) => r,
+                Err(_) => {
+                    // The device cannot even tell where the chain ends;
+                    // a real controller would raise NEEDS_RESET. Stop
+                    // the pass — no completion for this or later slots.
+                    self.stats.blk_errors += 1;
+                    break;
+                }
+            };
+            // Burst-fetch the chain's descriptor table.
+            t = link.dma_read(t, layout.desc_addr(chain.head), 16 * fetches);
             self.stats.desc_reads += 1;
-            let (chain, fetches) = q.resolve_at(mem, pos).expect("corrupt block chain");
-            for _ in 0..fetches {
-                t = link.dma_read(t, layout.desc_addr(chain.head), 16);
-                self.stats.desc_reads += 1;
-            }
+            vf_trace::instant(
+                vf_trace::Layer::Device,
+                "desc_read_split",
+                t,
+                fetches as u64,
+                0,
+            );
             t += timing.per_desc * fetches as u64;
             q.advance();
-            // Header read (16 bytes) + data movement per direction.
+
+            // H2C phase: header read + request data movement (reads for
+            // OUT payloads, writes for IN fills).
+            self.counters.h2c.start(t);
             t = link.dma_read(t, chain.bufs[0].addr, 16);
             let Persona::Block { disk, .. } = &mut self.persona else {
                 panic!("block notify on a non-block persona");
             };
-            let req = BlkRequest::parse(mem, &chain).expect("malformed block request");
-            // Time the data movement like the net path: reads for OUT,
-            // writes for IN.
-            for &(addr, len, writable) in &req.data {
-                if writable {
-                    t = link.dma_write(t, addr, len as usize);
-                } else {
-                    t = link.dma_read(t, addr, len as usize);
+            let (status, written) = match BlkRequest::parse(mem, &chain) {
+                Ok(req) => {
+                    let mut bytes = 0usize;
+                    for &(addr, len, writable) in &req.data {
+                        if writable {
+                            t = link.dma_write(t, addr, len as usize);
+                        } else {
+                            t = link.dma_read(t, addr, len as usize);
+                        }
+                        bytes += len as usize;
+                    }
+                    let _ = self.counters.h2c.stop(t);
+                    // Media service: the staging store pays its access
+                    // time for the payload, measured as processing so
+                    // the harness can deduct it like user logic.
+                    self.counters.processing.start(t);
+                    t += timing.fsm_step + self.staging.access_time(bytes);
+                    let (status, written) = disk.execute(mem, &req);
+                    let _ = self.counters.processing.stop(t);
+                    vf_trace::instant(
+                        vf_trace::Layer::Device,
+                        "blk_req",
+                        t,
+                        req.sector,
+                        bytes as u64,
+                    );
+                    self.counters.c2h.start(t);
+                    t = link.dma_write(t, req.status_addr, 1);
+                    (status, written)
                 }
-            }
-            let (_status, written) = disk.execute(mem, &req);
-            t = link.dma_write(t, req.status_addr, 1);
+                Err(e) => {
+                    let _ = self.counters.h2c.stop(t);
+                    self.stats.blk_errors += 1;
+                    self.counters.c2h.start(t);
+                    if let BlkParseError::UnknownType(_) = e {
+                        // Header and status footer were validated before
+                        // the type check, so an unknown type still has a
+                        // status slot to report UNSUPP into.
+                        let status_addr = chain.bufs.last().expect("len >= 2").addr;
+                        GuestMemory::write(mem, status_addr, &[blk_status::UNSUPP]);
+                        t = link.dma_write(t, status_addr, 1);
+                        (blk_status::UNSUPP, 1)
+                    } else {
+                        // Structurally broken chain: no status slot the
+                        // device can trust; complete with zero bytes.
+                        (blk_status::IOERR, 0)
+                    }
+                }
+            };
             self.stats.blk_requests += 1;
             let old_used = q.complete(mem, chain.head, written);
             t = link.dma_write(t, layout.used_ring_addr(old_used % layout.size), 8);
             t = link.dma_write(t, layout.used_idx_addr(), 2);
+            let done_at = t;
+            let mut irq_at = None;
             if q.should_interrupt(mem, old_used) {
                 if let Some(_msg) = self.msix.fire(queue as usize) {
-                    irq_at = Some(link.msix_write(t));
+                    let at = link.msix_write(t);
+                    irq_at = Some(at);
                     self.stats.irqs_sent += 1;
+                    t = at;
                 }
             }
-            any = true;
+            let _ = self.counters.c2h.stop(t);
+            completions.push(BlkCompletion {
+                head: chain.head,
+                status,
+                done_at,
+                irq_at,
+            });
         }
-        RxOutcome {
-            irq_at,
+        BlkOutcome {
+            completions,
             done_at: t,
-            delivered: any,
         }
     }
 
@@ -2559,15 +2660,153 @@ mod tests {
         )
         .unwrap();
         let out = dev.process_block_notify(Time::ZERO, 0, &mut mem, &mut link);
-        assert!(out.delivered);
-        assert!(out.irq_at.is_some());
+        assert_eq!(out.completions.len(), 1);
+        assert!(out.completions[0].irq_at.is_some());
+        assert_eq!(out.completions[0].status, blk_status::OK);
+        assert!(out.completions[0].done_at <= out.done_at);
         assert_eq!(mem.slice(stat, 1)[0], blk_status::OK);
         assert_eq!(dev.stats.blk_requests, 1);
+        assert_eq!(dev.stats.blk_errors, 0);
         let Persona::Block { disk, .. } = &dev.persona else {
             unreachable!()
         };
         assert_eq!(disk.flushes, 0);
         let used = q.pop_used(&mut mem).unwrap();
         assert_eq!(used.len, 1); // status byte only for OUT
+
+        // A second pass with two queued requests completes both, each
+        // with its own completion instant.
+        BlkRequest::write_header(&mut mem, hdr, BlkReqType::In, 3);
+        let back = mem.alloc(512, 64);
+        q.add_and_publish(
+            &mut mem,
+            &[
+                BufferSpec::readable(hdr, 16),
+                BufferSpec::writable(back, 512),
+                BufferSpec::writable(stat, 1),
+            ],
+        )
+        .unwrap();
+        let hdr2 = mem.alloc(16, 16);
+        let stat2 = mem.alloc(1, 1);
+        BlkRequest::write_header(&mut mem, hdr2, BlkReqType::Flush, 0);
+        q.add_and_publish(
+            &mut mem,
+            &[
+                BufferSpec::readable(hdr2, 16),
+                BufferSpec::writable(stat2, 1),
+            ],
+        )
+        .unwrap();
+        let out = dev.process_block_notify(Time::from_us(50), 0, &mut mem, &mut link);
+        assert_eq!(out.completions.len(), 2);
+        assert!(out.completions[0].done_at < out.completions[1].done_at);
+        assert_eq!(mem.slice(back, 512), &[0xCDu8; 512][..]);
+        let Persona::Block { disk, .. } = &dev.persona else {
+            unreachable!()
+        };
+        assert_eq!(disk.flushes, 1);
+    }
+
+    #[test]
+    fn block_walker_survives_unknown_request_type() {
+        use vf_virtio::block::{blk_status, BlkReqType};
+        let mut dev = VirtioFpgaDevice::new(
+            Persona::Block {
+                cfg: VirtioBlkConfig {
+                    capacity: 8,
+                    seg_max: 4,
+                },
+                disk: MemDisk::new(8, false),
+            },
+            0,
+            &[16],
+            Box::new(crate::user_logic::ConsoleEcho::default()),
+        );
+        let mut mem = HostMemory::testbed_default();
+        let mut link = PcieLink::new(LinkConfig::gen2_x2());
+        let layout = enable_queue_zero(&mut dev, &mut mem, 16);
+        dev.msix_enable();
+        dev.msix.program(0, MSI_ADDR_BASE, 0x50);
+        let mut q = DriverQueue::new(&mut mem, layout, false);
+
+        // Unknown type 99 in an otherwise well-formed chain.
+        let hdr = mem.alloc(16, 16);
+        let stat = mem.alloc(1, 1);
+        mem.write_u32(hdr, 99);
+        mem.write_u64(hdr + 8, 0);
+        q.add_and_publish(
+            &mut mem,
+            &[BufferSpec::readable(hdr, 16), BufferSpec::writable(stat, 1)],
+        )
+        .unwrap();
+        // And a well-formed flush right behind it.
+        let hdr2 = mem.alloc(16, 16);
+        let stat2 = mem.alloc(1, 1);
+        BlkRequest::write_header(&mut mem, hdr2, BlkReqType::Flush, 0);
+        q.add_and_publish(
+            &mut mem,
+            &[
+                BufferSpec::readable(hdr2, 16),
+                BufferSpec::writable(stat2, 1),
+            ],
+        )
+        .unwrap();
+        let out = dev.process_block_notify(Time::ZERO, 0, &mut mem, &mut link);
+        assert_eq!(
+            out.completions.len(),
+            2,
+            "bad request must not stall the queue"
+        );
+        assert_eq!(out.completions[0].status, blk_status::UNSUPP);
+        assert_eq!(mem.slice(stat, 1)[0], blk_status::UNSUPP);
+        assert_eq!(out.completions[1].status, blk_status::OK);
+        assert_eq!(dev.stats.blk_errors, 1);
+        assert_eq!(dev.stats.blk_requests, 2);
+        // Driver sees both used entries.
+        assert!(q.pop_used(&mut mem).is_some());
+        assert!(q.pop_used(&mut mem).is_some());
+    }
+
+    fn enable_queue_zero(
+        dev: &mut VirtioFpgaDevice,
+        mem: &mut HostMemory,
+        size: u16,
+    ) -> VirtqueueLayout {
+        use common as c;
+        dev.mmio_write(
+            bar0::COMMON + c::DEVICE_STATUS,
+            1,
+            status::ACKNOWLEDGE as u64,
+        );
+        dev.mmio_write(
+            bar0::COMMON + c::DEVICE_STATUS,
+            1,
+            (status::ACKNOWLEDGE | status::DRIVER) as u64,
+        );
+        dev.mmio_write(bar0::COMMON + c::DRIVER_FEATURE_SELECT, 4, 1);
+        dev.mmio_write(bar0::COMMON + c::DRIVER_FEATURE, 4, 1); // VERSION_1 high bit
+        dev.mmio_write(
+            bar0::COMMON + c::DEVICE_STATUS,
+            1,
+            (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK) as u64,
+        );
+        let base = mem.alloc(
+            VirtqueueLayout::contiguous(0, size).total_bytes() as usize,
+            4096,
+        );
+        let layout = VirtqueueLayout::contiguous(base, size);
+        dev.mmio_write(bar0::COMMON + c::QUEUE_SELECT, 2, 0);
+        dev.mmio_write(bar0::COMMON + c::QUEUE_SIZE, 2, size as u64);
+        dev.mmio_write(bar0::COMMON + c::QUEUE_DESC_LO, 4, layout.desc);
+        dev.mmio_write(bar0::COMMON + c::QUEUE_DRIVER_LO, 4, layout.avail);
+        dev.mmio_write(bar0::COMMON + c::QUEUE_DEVICE_LO, 4, layout.used);
+        dev.mmio_write(bar0::COMMON + c::QUEUE_ENABLE, 2, 1);
+        dev.mmio_write(
+            bar0::COMMON + c::DEVICE_STATUS,
+            1,
+            (status::ACKNOWLEDGE | status::DRIVER | status::FEATURES_OK | status::DRIVER_OK) as u64,
+        );
+        layout
     }
 }

@@ -40,8 +40,8 @@ pub mod user_logic;
 pub mod xdma_design;
 
 pub use controller::{
-    bar0, ControllerTiming, DeviceStats, MmioEvent, PendingResponse, Persona, RxOutcome, TxOutcome,
-    VirtioFpgaDevice,
+    bar0, BlkCompletion, BlkOutcome, ControllerTiming, DeviceStats, MmioEvent, PendingResponse,
+    Persona, RxOutcome, TxOutcome, VirtioFpgaDevice,
 };
 pub use counters::{IntervalStats, PerfCounter, RoundTripCounters};
 pub use mem::{Bram, CardStore, Ddr};

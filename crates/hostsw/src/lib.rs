@@ -11,6 +11,9 @@
 //! * [`virtio_net`] — the in-kernel virtio-pci/virtio-net front-end
 //!   driver (probe sequence, xmit path, NAPI receive) over the real
 //!   `vf-virtio` rings;
+//! * [`virtio_blk`] — the in-kernel virtio-blk front end: 3-part
+//!   request chains, queue-depth-driven outstanding requests, and the
+//!   `SEG_MAX`/`RO`/`FLUSH` negotiation (experiment E24);
 //! * [`virtio_packed`] — the same front end over the VirtIO 1.2
 //!   *packed* virtqueue layout (experiment E17);
 //! * [`virtio_mq`] — the `VIRTIO_NET_F_MQ` multi-queue front end: N
@@ -52,6 +55,7 @@ pub mod multicore;
 pub mod netcfg;
 pub mod packet;
 pub mod udp;
+pub mod virtio_blk;
 pub mod virtio_console;
 pub mod virtio_mq;
 pub mod virtio_mq_packed;
@@ -68,6 +72,7 @@ pub use packet::{
     UdpFlow, UDP_OVERHEAD,
 };
 pub use udp::{SockError, UdpStack};
+pub use virtio_blk::{probe_blk, BlkDone, BlkProbeOutcome, BlkSubmit, VirtioBlkDriver};
 pub use virtio_console::VirtioConsoleDriver;
 pub use virtio_mq::{probe_mq, MqProbeOutcome, VirtioNetMqDriver, CTRL_QUEUE_SIZE};
 pub use virtio_mq_packed::{probe_mq_packed, VirtioNetMqPackedDriver};

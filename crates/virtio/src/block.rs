@@ -173,28 +173,54 @@ impl MemDisk {
         (self.sectors.len() / SECTOR_SIZE) as u64
     }
 
+    /// Host-side image load: copy `data` into the disk starting at
+    /// `sector`, bypassing the request path (and the read-only flag —
+    /// a read-only device still ships with content). Panics when the
+    /// range leaves the disk; pre-fill is testbed setup, not a
+    /// guest-controlled path.
+    pub fn load(&mut self, sector: u64, data: &[u8]) {
+        let start = sector as usize * SECTOR_SIZE;
+        self.sectors[start..start + data.len()].copy_from_slice(data);
+    }
+
+    /// Byte range `[start, start+len)` of a request segment, or `None`
+    /// when the arithmetic overflows or the range leaves the disk. The
+    /// sector is guest-controlled: `sector * 512` near `u64::MAX` must
+    /// wrap into an IOERR, never into a bounds-check bypass.
+    fn span(&self, off: Option<usize>, len: u32) -> Option<(usize, usize)> {
+        let start = off?;
+        let end = start.checked_add(len as usize)?;
+        if end > self.sectors.len() {
+            return None;
+        }
+        Some((start, end))
+    }
+
     /// Execute `req` against guest memory. Returns `(status, bytes
     /// written into guest memory)` — the status byte is *also* written to
     /// `req.status_addr`, and the total includes it, matching what goes
     /// into the used-ring `len` field.
     pub fn execute<M: GuestMemory>(&mut self, mem: &mut M, req: &BlkRequest) -> (u8, u32) {
         let mut written = 0u32;
+        let start = usize::try_from(req.sector)
+            .ok()
+            .and_then(|s| s.checked_mul(SECTOR_SIZE));
         let status = match req.req_type {
             BlkReqType::Flush => {
                 self.flushes += 1;
                 blk_status::OK
             }
             BlkReqType::In => {
-                let mut off = req.sector as usize * SECTOR_SIZE;
+                let mut off = start;
                 let mut ok = blk_status::OK;
                 for &(addr, len, writable) in &req.data {
-                    if !writable || off + len as usize > self.sectors.len() {
+                    let Some((s, e)) = self.span(off, len).filter(|_| writable) else {
                         ok = blk_status::IOERR;
                         break;
-                    }
-                    mem.write(addr, &self.sectors[off..off + len as usize]);
+                    };
+                    mem.write(addr, &self.sectors[s..e]);
                     written += len;
-                    off += len as usize;
+                    off = Some(e);
                 }
                 ok
             }
@@ -202,16 +228,16 @@ impl MemDisk {
                 if self.read_only {
                     blk_status::IOERR
                 } else {
-                    let mut off = req.sector as usize * SECTOR_SIZE;
+                    let mut off = start;
                     let mut ok = blk_status::OK;
                     for &(addr, len, writable) in &req.data {
-                        if writable || off + len as usize > self.sectors.len() {
+                        let Some((s, e)) = self.span(off, len).filter(|_| !writable) else {
                             ok = blk_status::IOERR;
                             break;
-                        }
+                        };
                         let data = mem.read_vec(addr, len as usize);
-                        self.sectors[off..off + len as usize].copy_from_slice(&data);
-                        off += len as usize;
+                        self.sectors[s..e].copy_from_slice(&data);
+                        off = Some(e);
                     }
                     ok
                 }
@@ -285,6 +311,49 @@ mod tests {
         let mut disk = MemDisk::new(2, false);
         BlkRequest::write_header(&mut mem, 0, BlkReqType::In, 5);
         let chain = chain_of(&[(0, 16, false), (0x100, 512, true), (0x400, 1, true)]);
+        let req = BlkRequest::parse(&mem, &chain).unwrap();
+        let (status, _) = disk.execute(&mut mem, &req);
+        assert_eq!(status, blk_status::IOERR);
+    }
+
+    #[test]
+    fn huge_sector_read_is_ioerr_not_overflow() {
+        // Regression: `sector * SECTOR_SIZE` used to be unchecked; a
+        // guest-controlled sector near u64::MAX panicked in debug builds
+        // and wrapped past the bounds check in release builds.
+        let mut mem = VecMemory::new(1 << 16);
+        let mut disk = MemDisk::new(4, false);
+        BlkRequest::write_header(&mut mem, 0, BlkReqType::In, u64::MAX - 1);
+        let chain = chain_of(&[(0, 16, false), (0x100, 512, true), (0x400, 1, true)]);
+        let req = BlkRequest::parse(&mem, &chain).unwrap();
+        let (status, written) = disk.execute(&mut mem, &req);
+        assert_eq!(status, blk_status::IOERR);
+        assert_eq!(written, 1, "no data bytes on a failed read");
+        assert_eq!(mem.read_vec(0x400, 1), vec![blk_status::IOERR]);
+    }
+
+    #[test]
+    fn huge_sector_write_is_ioerr_not_overflow() {
+        let mut mem = VecMemory::new(1 << 16);
+        let mut disk = MemDisk::new(4, false);
+        BlkRequest::write_header(&mut mem, 0, BlkReqType::Out, u64::MAX / 512 + 1);
+        let chain = chain_of(&[(0, 16, false), (0x100, 512, false), (0x400, 1, true)]);
+        let req = BlkRequest::parse(&mem, &chain).unwrap();
+        let (status, _) = disk.execute(&mut mem, &req);
+        assert_eq!(status, blk_status::IOERR);
+        assert_eq!(mem.read_vec(0x400, 1), vec![blk_status::IOERR]);
+        // Disk contents untouched.
+        assert!(disk.sectors.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn segment_end_overflow_is_ioerr() {
+        // A valid start offset whose segment end overflows usize must
+        // also fail cleanly.
+        let mut mem = VecMemory::new(1 << 16);
+        let mut disk = MemDisk::new(4, false);
+        BlkRequest::write_header(&mut mem, 0, BlkReqType::In, 3);
+        let chain = chain_of(&[(0, 16, false), (0x100, u32::MAX, true), (0x400, 1, true)]);
         let req = BlkRequest::parse(&mem, &chain).unwrap();
         let (status, _) = disk.execute(&mut mem, &req);
         assert_eq!(status, blk_status::IOERR);

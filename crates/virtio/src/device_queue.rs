@@ -73,6 +73,10 @@ pub enum ChainError {
     BadIndex(u16),
     /// Indirect descriptors were not negotiated but appeared.
     UnexpectedIndirect,
+    /// An indirect table's length is not a whole number of descriptors
+    /// (VirtIO 1.2 §2.7.5.3: the table is a descriptor array, so its
+    /// length must be a multiple of 16).
+    BadIndirectLen(u32),
 }
 
 /// Device-side state of one virtqueue.
@@ -207,7 +211,13 @@ impl DeviceQueue {
                 if !self.indirect {
                     return Err(ChainError::UnexpectedIndirect);
                 }
-                // One indirect table holds the whole chain.
+                // One indirect table holds the whole chain. A length
+                // that is not a multiple of the descriptor size is a
+                // malformed table, not a table to round down: silently
+                // truncating would drop the trailing partial descriptor.
+                if !d.len.is_multiple_of(Desc::SIZE as u32) {
+                    return Err(ChainError::BadIndirectLen(d.len));
+                }
                 let count = (d.len / Desc::SIZE as u32) as usize;
                 if count == 0 || count > limit {
                     return Err(ChainError::TooLong);
@@ -474,6 +484,37 @@ mod tests {
         assert_eq!(chain.desc_count(), 3);
         assert_eq!(fetches, 4); // 1 main + 3 indirect
         assert_eq!(chain.writable_len(), 32);
+    }
+
+    #[test]
+    fn indirect_partial_descriptor_len_is_malformed() {
+        // Regression: a table length that is not a multiple of 16 used to
+        // round down, silently ignoring the trailing partial descriptor.
+        let mut mem = VecMemory::new(1 << 20);
+        let layout = VirtqueueLayout::contiguous(0x1000, 8);
+        let mut drv = DriverQueue::new(&mut mem, layout, false);
+        let dev = DeviceQueue::new(layout, false, true);
+        for i in 0..2u16 {
+            Desc {
+                addr: 0x100 + i as u64 * 0x100,
+                len: 16,
+                flags: if i == 0 { DESC_F_NEXT } else { 0 },
+                next: if i == 0 { 1 } else { 0 },
+            }
+            .write_at(&mut mem, 0x8000, i);
+        }
+        // 2 whole descriptors plus 8 trailing bytes: malformed.
+        let head = drv
+            .add_chain(&mut mem, &[BufferSpec::readable(0x8000, 2 * 16 + 8)])
+            .unwrap();
+        let mut d = Desc::read_at(&mem, layout.desc, head);
+        d.flags |= DESC_F_INDIRECT;
+        d.write_at(&mut mem, layout.desc, head);
+        drv.publish(&mut mem, head);
+        assert_eq!(
+            dev.resolve_at(&mem, 0).unwrap_err(),
+            ChainError::BadIndirectLen(2 * 16 + 8)
+        );
     }
 
     #[test]

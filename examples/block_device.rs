@@ -119,7 +119,9 @@ fn main() {
         )
         .unwrap();
         let out = device.process_block_notify(now, 0, &mut mem, &mut link);
-        assert!(out.delivered && out.irq_at.is_some());
+        let done = &out.completions[0];
+        assert!(done.irq_at.is_some(), "completion must raise MSI-X");
+        assert_eq!(done.status, blk_status::OK);
         assert_eq!(mem.slice(stat, 1)[0], blk_status::OK);
         q.pop_used(&mut mem).unwrap();
         now = out.done_at + Time::from_us(2);
@@ -139,7 +141,7 @@ fn main() {
         )
         .unwrap();
         let out = device.process_block_notify(now, 0, &mut mem, &mut link);
-        assert_eq!(mem.slice(stat, 1)[0], blk_status::OK);
+        assert_eq!(out.completions[0].status, blk_status::OK);
         let got = mem.slice(data, SECTOR_SIZE).to_vec();
         let expect: Vec<u8> = (0..SECTOR_SIZE)
             .map(|i| ((i as u64 + sector * 13) % 251) as u8)
@@ -158,7 +160,7 @@ fn main() {
     )
     .unwrap();
     let out = device.process_block_notify(now, 0, &mut mem, &mut link);
-    assert_eq!(mem.slice(stat, 1)[0], blk_status::OK);
+    assert_eq!(out.completions[0].status, blk_status::OK);
     q.pop_used(&mut mem).unwrap();
     let Persona::Block { disk, .. } = &device.persona else {
         unreachable!()

@@ -172,6 +172,58 @@ fn e15_pmd_cell_matches_pre_refactor_golden() {
     );
 }
 
+/// E24 serial virtio-blk cell: 4 KiB requests, write/read-back
+/// alternation, seed 42·1000+24. Captured when the block persona was
+/// promoted to a full `DriverModel` device class; pins the blk request
+/// walker's DMA chain, the front end's chain layout, and the EVENT_IDX
+/// choreography down to the bit.
+#[test]
+fn e24_blk_cell_matches_promotion_golden() {
+    let r = Testbed::new(TestbedConfig::paper(
+        DriverKind::VirtioBlk,
+        4096,
+        2000,
+        42_024,
+    ))
+    .run();
+    assert_golden(
+        r,
+        &Fingerprint {
+            mean: 0x4050213fbbd7b204,
+            p99: 0x4057449ba5e353f8,
+            max: 0x405dd428f5c28f5c,
+            hw_mean: 0x4047d2817763e4c4,
+            sw_mean: 0x40297e6ec9e236ca,
+            proc_mean: 0x401083126e978cd3,
+            sum: 0x40ff80f07ae147b0,
+            notifications: 2000,
+            irqs: 2000,
+            verify_failures: 0,
+        },
+    );
+}
+
+/// E24 pipelined storage runner: 4 KiB random reads at QD 8, same seed
+/// derivation. Pins throughput, the per-request latency sum, and the
+/// doorbell/IRQ coalescing counts (exactly one doorbell and one MSI-X
+/// per 8-deep window at this depth: 250 each for 2000 requests).
+#[test]
+fn e24_blk_qd_sweep_matches_promotion_golden() {
+    use virtio_fpga::{run_blk, BlkPattern};
+    let cfg = TestbedConfig::paper(DriverKind::VirtioBlk, 4096, 2000, 42_024);
+    let r = run_blk(&cfg, BlkPattern::RandomRead, 4096, 8);
+    let latency_sum: f64 = r.latency.raw().iter().sum();
+    assert_eq!(r.iops.to_bits(), 0x40df6d7167df1607, "IOPS drifted");
+    assert_eq!(
+        latency_sum.to_bits(),
+        0x411da1837ef9db11,
+        "latency sum drifted"
+    );
+    assert_eq!(r.doorbells, 250, "doorbell coalescing drifted");
+    assert_eq!(r.irqs, 250, "IRQ coalescing drifted");
+    assert_eq!(r.verify_failures, 0);
+}
+
 /// A multi-queue world cut down to one pair is the same workload as the
 /// E12 pipelined single-queue run: same payload, depth, and suppression
 /// behavior. The aggregate throughput must land in the same regime. The
