@@ -46,6 +46,10 @@ pub struct ExperimentParams {
     pub seed: u64,
     /// Worker threads for sweeps.
     pub threads: usize,
+    /// Shard cap for the in-run parallel engine on the MQ/tenant
+    /// sweeps (E25); `1` is the monolithic loop and results are
+    /// bit-identical at every value.
+    pub shards: usize,
 }
 
 impl ExperimentParams {
@@ -55,6 +59,7 @@ impl ExperimentParams {
             packets: PAPER_PACKETS,
             seed,
             threads: vf_sim::default_threads(),
+            shards: 1,
         }
     }
 
@@ -64,6 +69,7 @@ impl ExperimentParams {
             packets: 2_000,
             seed,
             threads: vf_sim::default_threads(),
+            shards: 1,
         }
     }
 }
@@ -966,6 +972,7 @@ pub fn mq_scaling(params: ExperimentParams, payload: usize) -> Vec<MqRow> {
             let mut cfg =
                 TestbedConfig::paper(DriverKind::VirtioMq, payload, params.packets, params.seed);
             cfg.options.mq_queue_pairs = q;
+            cfg.options.shards = params.shards;
             cfg
         })
         .collect();
@@ -1047,6 +1054,7 @@ pub fn pipeline_depth(params: ExperimentParams, payload: usize) -> Vec<OooRow> {
                 let mut cfg = TestbedConfig::paper(driver, payload, params.packets, params.seed);
                 cfg.options.mq_queue_pairs = queues;
                 cfg.options.pipeline_depth = depth;
+                cfg.options.shards = params.shards;
                 configs.push(cfg);
             }
         }
@@ -1132,6 +1140,7 @@ pub fn tenant_scaling(params: ExperimentParams, payload: usize) -> Vec<TenantRow
             cfg.options.mq_queue_pairs = tenants;
             cfg.options.tenant_vhost = true;
             cfg.options.tenant_policy = policy;
+            cfg.options.shards = params.shards;
             configs.push(cfg);
         }
     }
@@ -1208,6 +1217,7 @@ pub fn noisy_neighbor(params: ExperimentParams, payload: usize) -> Vec<NoisyRow>
             cfg.options.mq_queue_pairs = NOISY_TENANTS;
             cfg.options.tenant_vhost = true;
             cfg.options.tenant_policy = policy;
+            cfg.options.shards = params.shards;
             if noisy {
                 cfg.options.tenant_configs = tenant_cfgs.clone();
             }
@@ -1358,6 +1368,7 @@ mod tests {
             packets: 300,
             seed: 7,
             threads: 4,
+            shards: 1,
         }
     }
 
@@ -1367,6 +1378,7 @@ mod tests {
             packets: 120,
             seed: 3,
             threads: 8,
+            shards: 1,
         });
         assert_eq!(m.cells.len(), 10);
         for driver in [DriverKind::Virtio, DriverKind::Xdma] {
@@ -1384,6 +1396,7 @@ mod tests {
             packets: 2_500,
             seed: 11,
             threads: 8,
+            shards: 1,
         });
         // Table I shape: VirtIO wins p95 at every payload.
         for row in table1(&mut m) {
@@ -1417,6 +1430,7 @@ mod tests {
                 packets: 400,
                 seed: 13,
                 threads: 8,
+                shards: 1,
             },
             256,
         );
@@ -1470,6 +1484,7 @@ mod tests {
             packets: 1500,
             seed: 5,
             threads: 8,
+            shards: 1,
         });
         assert_eq!(rows.len(), 4);
         // Zero noise leaves only deterministic buffer-alignment effects
@@ -1491,6 +1506,7 @@ mod tests {
             packets: 400,
             seed: 9,
             threads: 8,
+            shards: 1,
         });
         assert_eq!(rows.len(), 6);
         for r in &rows {
@@ -1507,6 +1523,7 @@ mod tests {
             packets: 400,
             seed: 4,
             threads: 8,
+            shards: 1,
         });
         for r in &rows {
             assert!(
@@ -1525,6 +1542,7 @@ mod tests {
             packets: 400,
             seed: 8,
             threads: 8,
+            shards: 1,
         });
         let console64 = rows
             .iter()
@@ -1544,6 +1562,7 @@ mod tests {
             packets: 800,
             seed: 21,
             threads: 8,
+            shards: 1,
         });
         assert_eq!(rows.len(), 5);
         for r in &rows {
@@ -1575,6 +1594,7 @@ mod tests {
             packets: 400,
             seed: 6,
             threads: 8,
+            shards: 1,
         });
         assert_eq!(rows.len(), 5);
         // The busy poller's CPU bill per packet shrinks as load rises
@@ -1611,6 +1631,7 @@ mod tests {
             packets: 500,
             seed: 13,
             threads: 8,
+            shards: 1,
         });
         assert_eq!(rows.len(), 5);
         for r in &rows {
@@ -1638,6 +1659,7 @@ mod tests {
             packets: 600,
             seed: 2,
             threads: 8,
+            shards: 1,
         });
         let big = rows.iter().find(|r| r.payload == 1024).unwrap();
         assert!(big.sw_component_offload < big.sw_component_sw_csum);
@@ -1654,6 +1676,7 @@ mod tests {
                 packets: 1_200,
                 seed: 5,
                 threads: 8,
+                shards: 1,
             },
             256,
         );
@@ -1684,6 +1707,7 @@ mod tests {
             packets: 250,
             seed: 31,
             threads: 8,
+            shards: 1,
         });
         assert_eq!(rows.len(), BLK_WORKLOADS.len());
         for row in &rows {

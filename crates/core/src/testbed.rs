@@ -169,6 +169,14 @@ pub struct TestbedOptions {
     /// 16 MiB) leaves the random-I/O sweeps room to address distinct
     /// slots at every I/O size.
     pub blk_capacity_sectors: u64,
+    /// E25 (MQ/tenant worlds): shard cap for the conservative parallel
+    /// engine (`vf_sim::shard`). `1` (default) runs the monolithic
+    /// loop; `> 1` lets the world partition into up to this many shards
+    /// synchronized by the link's [`min_lookahead`] — results are
+    /// bit-identical to `shards = 1` by the engine's merge contract.
+    ///
+    /// [`min_lookahead`]: vf_pcie::LinkConfig::min_lookahead
+    pub shards: usize,
 }
 
 /// How the MQ device steers echoed flows back to queue pairs.
@@ -206,6 +214,7 @@ impl Default for TestbedOptions {
             tenant_configs: Vec::new(),
             blk_read_only: false,
             blk_capacity_sectors: 32_768,
+            shards: 1,
         }
     }
 }

@@ -76,13 +76,31 @@ where
         .collect()
 }
 
-/// Default thread count for sweeps: the machine's parallelism, leaving the
+/// Default thread count for sweeps and shard windows: the `VF_THREADS`
+/// environment variable when set to a positive integer (clamped to
+/// [`MAX_THREADS`]), otherwise the machine's parallelism, leaving the
 /// result at least 1.
+///
+/// The override lets CI pin parallelism for reproducible wall-clock
+/// smokes and lets laptops throttle a sweep without touching code;
+/// an unparsable or zero value falls back to the hardware count.
 pub fn default_threads() -> usize {
+    if let Ok(raw) = std::env::var("VF_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n.min(MAX_THREADS);
+            }
+        }
+    }
     thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
+
+/// Upper clamp for the `VF_THREADS` override: far above any real core
+/// count, low enough that a typo ("1000000") cannot ask the OS for a
+/// million scoped threads.
+pub const MAX_THREADS: usize = 256;
 
 #[cfg(test)]
 mod tests {
@@ -131,5 +149,35 @@ mod tests {
             assert_ne!(x, 1, "boom");
             x
         });
+    }
+
+    /// All `VF_THREADS` scenarios in one test: the test harness runs
+    /// `#[test]` functions concurrently, and the environment is process
+    /// global, so splitting these into separate tests would race.
+    #[test]
+    fn vf_threads_override() {
+        let hw = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let with_env = |val: Option<&str>, f: &dyn Fn()| {
+            match val {
+                Some(v) => std::env::set_var("VF_THREADS", v),
+                None => std::env::remove_var("VF_THREADS"),
+            }
+            f();
+            std::env::remove_var("VF_THREADS");
+        };
+        with_env(None, &|| assert_eq!(default_threads(), hw));
+        with_env(Some("3"), &|| assert_eq!(default_threads(), 3));
+        with_env(Some(" 12 "), &|| assert_eq!(default_threads(), 12));
+        // Clamped, not rejected: a huge ask caps at MAX_THREADS.
+        with_env(Some("1000000"), &|| {
+            assert_eq!(default_threads(), MAX_THREADS)
+        });
+        // Invalid or zero values fall back to the hardware count.
+        with_env(Some("0"), &|| assert_eq!(default_threads(), hw));
+        with_env(Some("lots"), &|| assert_eq!(default_threads(), hw));
+        with_env(Some(""), &|| assert_eq!(default_threads(), hw));
+        with_env(Some("-2"), &|| assert_eq!(default_threads(), hw));
     }
 }

@@ -1,0 +1,364 @@
+//! Differential property tests for the sharded engine (E25).
+//!
+//! A scripted logical-process (LP) world runs the same randomized event
+//! program two ways:
+//!
+//! * **monolithic** — one [`Simulation`] over all LPs, messages tagged
+//!   `(lp, id)`;
+//! * **sharded** — one LP per shard of a [`ShardedSimulation`], cross-LP
+//!   messages through the conservative timestamp-ordered merge.
+//!
+//! The per-LP delivery logs must be **event-for-event identical**,
+//! including across pause/resume horizons with mid-run stimulus.
+//!
+//! ## Timestamp uniqueness
+//!
+//! The monolithic engine breaks same-timestamp ties by global FIFO
+//! insertion order — a *sequential-history* property no shard-parallel
+//! scheme can reproduce in general. Equivalence with the monolithic run
+//! is therefore exactly the tie-free case, and the scripted world makes
+//! arrivals unique per destination *structurally*: every emission lands
+//! on a 32 768 ps block boundary plus a residue encoding
+//! `(source LP, per-source counter)`, so two distinct emissions can
+//! never collide at a destination. Physical-time models satisfy the
+//! same property for free (a serialized wire lands two TLPs on the same
+//! picosecond exactly never); the test world just makes it syntactic.
+//! Local same-instant bursts (`now_msg`) are still exercised — local
+//! ties stay inside one wheel and keep staging order in both engines.
+//!
+//! With ties *allowed* (uniqueness off), the sharded engine still
+//! guarantees determinism: delivery is a pure function of the model and
+//! the shard count, independent of worker-thread count — the third
+//! property pins that directly.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use vf_sim::{RunOutcome, Scheduler, ShardWorld, ShardedSimulation, Simulation, Time, World};
+
+/// Residue-block quantum: arrival times are `block + src·4096 + ctr`,
+/// so blocks must dominate every residue.
+const Q: u64 = 32_768;
+
+/// Conservative lookahead between LPs (the modeled link flight time).
+const LOOKAHEAD: Time = Time::from_us(1);
+
+/// Per-source emission counters start here; external seed stimulus uses
+/// residues below it, so seeds can never collide with emissions.
+const CTR_BASE: u64 = 64;
+
+/// How a delivered event fans out.
+#[derive(Clone, Copy, Debug)]
+enum SOp {
+    /// Local event after ~`raw` ps (same LP, same shard).
+    Local(u64),
+    /// Same-instant local burst (`now_msg`-shaped tie).
+    Burst,
+    /// Cross-LP event, at least one lookahead plus `raw` away.
+    Cross(u64),
+}
+
+/// A deterministic branching program shared by every LP.
+#[derive(Clone, Debug)]
+struct Script {
+    /// Fan-out per delivery, indexed by `id % ops.len()`.
+    ops: Vec<Vec<SOp>>,
+    /// Per-LP spawn budget (bounds the run; also keeps each LP's
+    /// residue counter below 4096 so residues never wrap).
+    max_spawns: u32,
+}
+
+/// One LP's mutable state — identical under both engines.
+struct LpState {
+    lp: usize,
+    n: usize,
+    script: Script,
+    /// Stamp unique per-destination arrival times (see module docs).
+    unique: bool,
+    spawned: u32,
+    ctr: u64,
+    log: Vec<(Time, u32)>,
+}
+
+impl LpState {
+    fn new(lp: usize, n: usize, script: Script, unique: bool) -> Self {
+        LpState {
+            lp,
+            n,
+            script,
+            unique,
+            spawned: 0,
+            ctr: CTR_BASE,
+            log: Vec::new(),
+        }
+    }
+
+    /// Stamp `target` into this LP's unique residue slot: block
+    /// boundary + `src·4096 + ctr`. The `+ Q` headroom in cross targets
+    /// guarantees the rounded-down block never lands before `now + L`.
+    fn stamp(&mut self, target: Time) -> Time {
+        let t = (target.as_ps() & !(Q - 1)) + self.lp as u64 * 4096 + (self.ctr & 4095);
+        self.ctr += 1;
+        Time::from_ps(t)
+    }
+
+    /// Deliver `id` at `now`: log it and compute the fan-out as
+    /// `(destination, time, child)` triples, in emission order.
+    fn fire(&mut self, now: Time, id: u32) -> Vec<(usize, Time, u32)> {
+        self.log.push((now, id));
+        let ops = self.script.ops[id as usize % self.script.ops.len()].clone();
+        let mut out = Vec::with_capacity(ops.len());
+        for (k, op) in ops.iter().enumerate() {
+            if self.spawned >= self.script.max_spawns {
+                break;
+            }
+            self.spawned += 1;
+            let child = id.wrapping_mul(31).wrapping_add(k as u32 + 1);
+            match *op {
+                SOp::Local(raw) => {
+                    let t = if self.unique {
+                        self.stamp(now + Time::from_ps(raw))
+                    } else {
+                        now + Time::from_ps(raw)
+                    };
+                    out.push((self.lp, t, child));
+                }
+                SOp::Burst => out.push((self.lp, now, child)),
+                SOp::Cross(raw) => {
+                    let dst = (self.lp + 1 + id as usize % (self.n - 1)) % self.n;
+                    let t = if self.unique {
+                        self.stamp(now + LOOKAHEAD + Time::from_ps(Q) + Time::from_ps(raw))
+                    } else {
+                        now + LOOKAHEAD + Time::from_ps(raw)
+                    };
+                    out.push((dst, t, child));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The monolithic reference: every LP inside one simulation.
+struct Mono {
+    lps: Vec<LpState>,
+}
+
+impl World for Mono {
+    type Msg = (usize, u32);
+
+    fn deliver(&mut self, now: Time, (lp, id): (usize, u32), sched: &mut Scheduler<(usize, u32)>) {
+        for (dst, t, child) in self.lps[lp].fire(now, id) {
+            sched.at(t, (dst, child));
+        }
+    }
+}
+
+/// One LP as a shard world.
+struct LpShard(LpState);
+
+impl ShardWorld for LpShard {
+    type Msg = u32;
+
+    fn deliver(
+        &mut self,
+        now: Time,
+        id: u32,
+        sched: &mut Scheduler<u32>,
+        net: &mut vf_sim::Outbox<'_, u32>,
+    ) {
+        let lp = self.0.lp;
+        for (dst, t, child) in self.0.fire(now, id) {
+            if dst == lp {
+                sched.at(t, child);
+            } else {
+                net.send(dst, t, child);
+            }
+        }
+    }
+}
+
+/// Seed stimulus: `(lp, raw_time, id)` with a unique sub-`CTR_BASE`
+/// residue per seed index, mirrored identically into both engines.
+fn seed_time(raw: u64, lp: usize, i: usize) -> Time {
+    Time::from_ps((raw & !(Q - 1)) + lp as u64 * 4096 + i as u64)
+}
+
+fn build(
+    n: usize,
+    script: &Script,
+    unique: bool,
+) -> (Simulation<Mono>, ShardedSimulation<LpShard>) {
+    let mono = Simulation::new(Mono {
+        lps: (0..n)
+            .map(|lp| LpState::new(lp, n, script.clone(), unique))
+            .collect(),
+    });
+    let sharded = ShardedSimulation::new(
+        (0..n)
+            .map(|lp| LpShard(LpState::new(lp, n, script.clone(), unique)))
+            .collect(),
+        LOOKAHEAD,
+    );
+    (mono, sharded)
+}
+
+fn raw_delay() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        1u64..Q,
+        Q..1_000_000,
+        1_000_000u64..20_000_000,
+        1_000_000_000u64..4_000_000_000,
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = SOp> {
+    prop_oneof![
+        raw_delay().prop_map(SOp::Local),
+        Just(SOp::Burst),
+        raw_delay().prop_map(SOp::Cross),
+    ]
+}
+
+fn script_strategy() -> impl Strategy<Value = Script> {
+    (vec(vec(op_strategy(), 0..4), 1..6), 30u32..400)
+        .prop_map(|(ops, max_spawns)| Script { ops, max_spawns })
+}
+
+/// Never reached: total spawns ≤ LPs · max_spawns + seeds ≪ this.
+const BUDGET: u64 = 100_000;
+
+fn logs(sharded: &ShardedSimulation<LpShard>, n: usize) -> Vec<Vec<(Time, u32)>> {
+    (0..n).map(|lp| sharded.world(lp).0.log.clone()).collect()
+}
+
+fn mono_logs(mono: &Simulation<Mono>) -> Vec<Vec<(Time, u32)>> {
+    mono.world.lps.iter().map(|l| l.log.clone()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Full-run differential: with unique arrival times the sharded
+    /// engine delivers event-for-event what the monolithic engine
+    /// delivers — per-LP logs, final clock, and totals all agree.
+    #[test]
+    fn sharded_matches_monolithic_event_for_event(
+        n in 2usize..5,
+        script in script_strategy(),
+        seeds in vec((raw_delay(), 0u32..1000), 1..10),
+    ) {
+        let (mut mono, mut sharded) = build(n, &script, true);
+        for (i, &(raw, id)) in seeds.iter().enumerate() {
+            let lp = id as usize % n;
+            let at = seed_time(raw, lp, i);
+            mono.schedule_at(at, (lp, id));
+            sharded.schedule_at(lp, at, id);
+        }
+        let a = mono.run(Time::MAX, BUDGET);
+        let b = sharded.run(Time::MAX, BUDGET);
+        prop_assert_eq!(a, RunOutcome::Idle);
+        prop_assert_eq!(b, RunOutcome::Idle);
+        prop_assert_eq!(mono_logs(&mono), logs(&sharded, n));
+        prop_assert_eq!(mono.now(), sharded.now());
+        prop_assert_eq!(mono.events_delivered(), sharded.events_delivered());
+        prop_assert_eq!(sharded.pending(), 0);
+    }
+
+    /// Pause/resume differential: at every horizon pause both engines
+    /// have delivered exactly the events `≤ horizon`, so logs, clock,
+    /// and pending counts agree at each observation point — and fresh
+    /// stimulus injected past the horizon keeps them in lockstep.
+    #[test]
+    fn sharded_matches_monolithic_across_paused_runs(
+        n in 2usize..5,
+        script in script_strategy(),
+        seeds in vec((raw_delay(), 0u32..1000), 1..8),
+        horizons in vec(raw_delay(), 1..6),
+    ) {
+        let (mut mono, mut sharded) = build(n, &script, true);
+        for (i, &(raw, id)) in seeds.iter().enumerate() {
+            let lp = id as usize % n;
+            let at = seed_time(raw, lp, i);
+            mono.schedule_at(at, (lp, id));
+            sharded.schedule_at(lp, at, id);
+        }
+        for (i, &h) in horizons.iter().enumerate() {
+            // Accumulating horizons keeps each pause ahead of both
+            // clocks, so run() resumes rather than no-ops.
+            let horizon = Time::from_ps(
+                mono.now().as_ps().max(sharded.now().as_ps()) + h,
+            );
+            mono.run(horizon, BUDGET);
+            sharded.run(horizon, BUDGET);
+            prop_assert_eq!(
+                mono_logs(&mono), logs(&sharded, n),
+                "diverged at pause {}", i
+            );
+            prop_assert_eq!(mono.now(), sharded.now());
+            prop_assert_eq!(mono.pending(), sharded.pending());
+            // Inject stimulus strictly past the horizon (no clamping:
+            // the engines clamp against *different* local clocks, so a
+            // past instant would be a seed-time divergence, not a
+            // model behavior).
+            let lp = i % n;
+            let at = seed_time(horizon.as_ps() + Q + h, lp, seeds.len() + i);
+            mono.schedule_at(at, (lp, 9_000 + i as u32));
+            sharded.schedule_at(lp, at, 9_000 + i as u32);
+        }
+        let a = mono.run(Time::MAX, BUDGET);
+        let b = sharded.run(Time::MAX, BUDGET);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(mono_logs(&mono), logs(&sharded, n));
+        prop_assert_eq!(mono.events_delivered(), sharded.events_delivered());
+    }
+
+    /// Determinism under ties: with raw (non-unique) timestamps the
+    /// sharded run is still a pure function of the model — worker
+    /// thread count changes nothing, not even the window/merge counts.
+    #[test]
+    fn thread_count_is_invisible_even_with_ties(
+        n in 2usize..5,
+        script in script_strategy(),
+        seeds in vec((raw_delay(), 0u32..1000), 1..8),
+    ) {
+        let run = |threads: usize| {
+            let (_, sharded) = build(n, &script, false);
+            let mut sharded = sharded.with_threads(threads);
+            for (i, &(raw, id)) in seeds.iter().enumerate() {
+                let lp = id as usize % n;
+                sharded.schedule_at(lp, seed_time(raw, lp, i), id);
+            }
+            let outcome = sharded.run(Time::MAX, BUDGET);
+            (outcome, logs(&sharded, n), sharded.now(), sharded.windows(), sharded.merged_events())
+        };
+        let base = run(1);
+        for threads in [2, 4] {
+            let other = run(threads);
+            prop_assert_eq!(&base, &other, "{} threads diverged", threads);
+        }
+    }
+}
+
+/// The budget contract: sharded budgets are enforced at window
+/// boundaries, so a stop can overshoot `max_events` within one window —
+/// but never loses or reorders events on resume.
+#[test]
+fn budget_pause_resumes_without_loss() {
+    let script = Script {
+        ops: vec![vec![SOp::Cross(1000), SOp::Local(500)]],
+        max_spawns: 200,
+    };
+    let (mut mono, mut sharded) = build(3, &script, true);
+    for (i, id) in [(0usize, 1u32), (1, 2), (2, 3)] {
+        let at = seed_time(5_000_000, i, id as usize);
+        mono.schedule_at(at, (i, id));
+        sharded.schedule_at(i, at, id);
+    }
+    mono.run(Time::MAX, u64::MAX / 2);
+    // Drip-feed the sharded run through tiny budgets.
+    while sharded.run(Time::MAX, 7) != RunOutcome::Idle {}
+    assert_eq!(mono_logs(&mono), logs(&sharded, 3));
+    assert_eq!(mono.events_delivered(), sharded.events_delivered());
+}

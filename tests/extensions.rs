@@ -11,6 +11,7 @@ fn params(packets: usize) -> ExperimentParams {
         packets,
         seed: 23,
         threads: 8,
+        shards: 1,
     }
 }
 
